@@ -1,0 +1,91 @@
+"""Ablation: analyzer scaling on synthetic dataflows.
+
+Blazes is a static analysis meant to run inside build pipelines; this
+ablation shows the label-derivation cost on synthetic topologies — chains,
+fan-in trees, and chains of two-node cycles — as the component count
+grows.
+"""
+
+from __future__ import annotations
+
+from repro.core import CR, CW, OW, Dataflow, analyze
+
+SIZES = (10, 50, 100, 200)
+
+
+def chain(n: int) -> Dataflow:
+    flow = Dataflow(f"chain-{n}")
+    for i in range(n):
+        comp = flow.add_component(f"c{i}")
+        comp.add_path("in", "out", CW() if i % 3 else OW("k"))
+    flow.add_stream("src", dst=("c0", "in"), seal=["k"])
+    for i in range(n - 1):
+        flow.add_stream(f"s{i}", src=(f"c{i}", "out"), dst=(f"c{i+1}", "in"))
+    flow.add_stream("sink", src=(f"c{n-1}", "out"))
+    return flow
+
+
+def fan(n: int) -> Dataflow:
+    flow = Dataflow(f"fan-{n}")
+    sink = flow.add_component("sink")
+    sink.add_path("in", "out", CW())
+    for i in range(n - 1):
+        comp = flow.add_component(f"leaf{i}")
+        comp.add_path("in", "out", CR())
+        flow.add_stream(f"src{i}", dst=(f"leaf{i}", "in"))
+        flow.add_stream(f"s{i}", src=(f"leaf{i}", "out"), dst=("sink", "in"))
+    flow.add_stream("out", src=("sink", "out"))
+    return flow
+
+
+def cycles(n: int) -> Dataflow:
+    """A chain of two-component cycles (each pair gossips)."""
+    flow = Dataflow(f"cycles-{n}")
+    pairs = max(1, n // 2)
+    for i in range(pairs):
+        a = flow.add_component(f"a{i}")
+        a.add_path("in", "out", CW())
+        a.add_path("peer", "out", CW())
+        b = flow.add_component(f"b{i}")
+        b.add_path("in", "out", CW())
+        flow.add_stream(f"ab{i}", src=(f"a{i}", "out"), dst=(f"b{i}", "in"))
+        flow.add_stream(f"ba{i}", src=(f"b{i}", "out"), dst=(f"a{i}", "peer"))
+    flow.add_stream("src", dst=("a0", "in"))
+    for i in range(pairs - 1):
+        flow.add_stream(f"next{i}", src=(f"b{i}", "out"), dst=(f"a{i+1}", "in"))
+    flow.add_stream("sink", src=(f"b{pairs-1}", "out"))
+    return flow
+
+
+def analyze_all(builder, sizes):
+    results = []
+    for size in sizes:
+        flow = builder(size)
+        result = analyze(flow)
+        results.append((size, len(result.outputs)))
+    return results
+
+
+def test_ablation_chain_scaling(benchmark):
+    rows = benchmark.pedantic(analyze_all, args=(chain, SIZES), rounds=3, iterations=1)
+    print()
+    print("Analyzer scaling — chains (components -> labeled interfaces)")
+    for size, outputs in rows:
+        print(f"  {size:>5} components: {outputs} interfaces labeled")
+    assert all(outputs == size for size, outputs in rows)
+
+
+def test_ablation_fan_scaling(benchmark):
+    rows = benchmark.pedantic(analyze_all, args=(fan, SIZES), rounds=3, iterations=1)
+    print()
+    print("Analyzer scaling — fan-in trees")
+    for size, outputs in rows:
+        print(f"  {size:>5} components: {outputs} interfaces labeled")
+
+
+def test_ablation_cycle_scaling(benchmark):
+    rows = benchmark.pedantic(analyze_all, args=(cycles, SIZES), rounds=3, iterations=1)
+    print()
+    print("Analyzer scaling — chains of gossip cycles (cycle collapse)")
+    for size, outputs in rows:
+        print(f"  {size:>5} components: {outputs} interfaces labeled")

@@ -1,0 +1,55 @@
+"""Figure 11: Storm word-count throughput vs cluster size.
+
+Sweeps the worker count over {5, 10, 15, 20} and runs the identical
+workload as a transactional topology (batch commits serialized through
+Zookeeper) and as the sealed topology Blazes certifies.  The paper's
+shape: the sealed topology outperforms by ~1.8x at 5 workers, growing to
+~3x at 20, because the serialized commit cycle cannot use the extra
+workers.
+"""
+
+from __future__ import annotations
+
+from repro.apps.wordcount import run_wordcount
+
+CLUSTER_SIZES = (5, 10, 15, 20)
+BATCHES_PER_SPOUT = 4
+BATCH_SIZE = 30
+
+
+def sweep():
+    rows = []
+    for workers in CLUSTER_SIZES:
+        # offered load scales with the cluster, as a real stream would:
+        # each spout task contributes the same number of batches
+        spouts = max(1, workers // 2)
+        batches = BATCHES_PER_SPOUT * spouts
+        sealed, _ = run_wordcount(
+            workers=workers, total_batches=batches, batch_size=BATCH_SIZE,
+            transactional=False,
+        )
+        txn, _ = run_wordcount(
+            workers=workers, total_batches=batches, batch_size=BATCH_SIZE,
+            transactional=True,
+        )
+        rows.append((workers, sealed.throughput, txn.throughput))
+    return rows
+
+
+def test_fig11_throughput_vs_cluster_size(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("Figure 11 — throughput (tuples/s, simulated) vs cluster size")
+    print(f"{'workers':>8} {'sealed':>12} {'transactional':>14} {'ratio':>7}")
+    ratios = []
+    for workers, sealed_tps, txn_tps in rows:
+        ratio = sealed_tps / txn_tps
+        ratios.append((workers, ratio))
+        print(f"{workers:>8} {sealed_tps:>12,.0f} {txn_tps:>14,.0f} {ratio:>6.2f}x")
+    # Paper shape: sealed always wins, and the gap grows with cluster size.
+    for _workers, ratio in ratios:
+        assert ratio > 1.3
+    assert ratios[-1][1] > ratios[0][1], "gap should grow with cluster size"
+    # Sealed throughput scales with workers; transactional plateaus.
+    sealed_by_size = [row[1] for row in rows]
+    assert sealed_by_size[-1] > sealed_by_size[0] * 1.5

@@ -1,0 +1,32 @@
+"""Figure 12: ad-reporting log records processed over time, 5 ad servers.
+
+Four delivery regimes — uncoordinated (lower bound, inconsistent),
+ordered (Zookeeper total order), independent seal (one producer per
+campaign), and seal (all producers per campaign).  The paper's shape:
+ordering is far slower; both seal variants closely track the
+uncoordinated baseline.
+"""
+
+from __future__ import annotations
+
+from benchmarks._adreport import print_series, run_strategies
+
+STRATEGIES = ("uncoordinated", "ordered", "independent-seal", "seal")
+
+
+def test_fig12_adreport_5_servers(benchmark):
+    workload, results = benchmark.pedantic(
+        run_strategies, args=(5, STRATEGIES), rounds=1, iterations=1
+    )
+    print()
+    print("Figure 12 — processed log records over time, 5 ad servers")
+    print_series(results, workload, bucket=0.5)
+
+    base = results["uncoordinated"].completion_time
+    assert results["ordered"].completion_time > 2.0 * base
+    assert results["seal"].completion_time < 1.5 * base
+    assert results["independent-seal"].completion_time < 1.5 * base
+    for result in results.values():
+        assert result.processed_count() == workload.total_entries
+    assert results["ordered"].replicas_agree
+    assert results["seal"].replicas_agree

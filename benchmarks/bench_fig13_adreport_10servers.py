@@ -1,0 +1,51 @@
+"""Figure 13: ad-reporting log records processed over time, 10 ad servers.
+
+Doubling the ad servers barely affects the uncoordinated and seal-based
+runs (they scale out), but inflates the ordered run's completion time
+substantially — the sequencer's serialized quorum writes are the
+bottleneck, and doubling offered load compounds queueing delay
+(the paper reports a ~3x increase).
+"""
+
+from __future__ import annotations
+
+from benchmarks._adreport import print_series, run_strategies, workload_for
+
+STRATEGIES = ("uncoordinated", "ordered", "independent-seal", "seal")
+
+
+def test_fig13_adreport_10_servers(benchmark):
+    workload, results = benchmark.pedantic(
+        run_strategies, args=(10, STRATEGIES), rounds=1, iterations=1
+    )
+    print()
+    print("Figure 13 — processed log records over time, 10 ad servers")
+    print_series(results, workload, bucket=1.0)
+
+    base = results["uncoordinated"].completion_time
+    assert results["ordered"].completion_time > 3.0 * base
+    assert results["seal"].completion_time < 1.5 * base
+    for result in results.values():
+        assert result.processed_count() == workload.total_entries
+
+
+def test_fig13_scaling_vs_fig12(benchmark):
+    """The scaling comparison the paper calls out explicitly."""
+
+    def both():
+        _w5, five = run_strategies(5, ("uncoordinated", "ordered"))
+        _w10, ten = run_strategies(10, ("uncoordinated", "ordered"))
+        return five, ten
+
+    five, ten = benchmark.pedantic(both, rounds=1, iterations=1)
+    unc_growth = (
+        ten["uncoordinated"].completion_time
+        / five["uncoordinated"].completion_time
+    )
+    ord_growth = ten["ordered"].completion_time / five["ordered"].completion_time
+    print()
+    print("Scaling 5 -> 10 ad servers (completion-time growth)")
+    print(f"  uncoordinated: {unc_growth:.2f}x   (paper: little effect)")
+    print(f"  ordered      : {ord_growth:.2f}x   (paper: ~3x)")
+    assert unc_growth < 1.5
+    assert ord_growth > 1.6

@@ -1,0 +1,96 @@
+"""Figure 6 + Sections III-D/VI-B: the query coordination-requirements matrix.
+
+Regenerates the paper's per-query verdicts: which of the four reporting
+queries are consistent without coordination, which require sealing, and
+which force global ordering.  Prints one row per (query, seal) combination
+with the derived sink label and the synthesized strategy, and benchmarks
+the analyzer itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.queries import QUERY_NAMES, make_report_module
+from repro.bloom.analysis import analyze_module, attach_component
+from repro.core import CR, CW, Dataflow, analyze, choose_strategies
+
+CASES = [
+    ("THRESH", None),
+    ("POOR", None),
+    ("POOR", ["campaign"]),
+    ("WINDOW", None),
+    ("WINDOW", ["window"]),
+    ("CAMPAIGN", None),
+    ("CAMPAIGN", ["campaign"]),
+]
+
+
+def build_ad_dataflow(query: str, seal):
+    dataflow = Dataflow(f"ad-{query}")
+    module = make_report_module(query)
+    analysis = analyze_module(module)
+    attach_component(dataflow, module, name="Report", rep=True, analysis=analysis)
+    cache = dataflow.add_component("Cache")
+    cache.add_path("request", "response", CR())
+    cache.add_path("response", "response", CW())
+    cache.add_path("request", "request", CR())
+    dataflow.add_stream("c", dst=("Report", "click"), seal=seal)
+    dataflow.add_stream("q", dst=("Cache", "request"))
+    dataflow.add_stream("q_fwd", src=("Cache", "request"), dst=("Report", "request"))
+    dataflow.add_stream("r", src=("Report", "response"), dst=("Cache", "response"))
+    dataflow.add_stream("gossip", src=("Cache", "response"), dst=("Cache", "response"))
+    dataflow.add_stream("answers", src=("Cache", "response"))
+    return dataflow, analysis.fds
+
+
+def run_matrix():
+    rows = []
+    for query, seal in CASES:
+        dataflow, fds = build_ad_dataflow(query, seal)
+        result = analyze(dataflow, fds)
+        plan = choose_strategies(result)
+        rows.append(
+            (
+                query,
+                ",".join(seal) if seal else "-",
+                str(result.label_of("answers")),
+                plan.strategy_for("Report").kind,
+            )
+        )
+    return rows
+
+
+def test_fig6_query_matrix(benchmark):
+    rows = benchmark.pedantic(run_matrix, rounds=3, iterations=1)
+    print()
+    print("Figure 6 — reporting queries: coordination requirements")
+    print(f"{'query':<10} {'seal':<10} {'sink label':<14} strategy")
+    for query, seal, label, strategy in rows:
+        print(f"{query:<10} {seal:<10} {label:<14} {strategy}")
+    verdicts = {(q, s): (label, strat) for q, s, label, strat in rows}
+    # the paper's qualitative claims
+    assert verdicts[("THRESH", "-")] == ("Async", "none")
+    assert verdicts[("POOR", "-")][0] == "Diverge"
+    assert verdicts[("POOR", "-")][1] == "order"
+    assert verdicts[("WINDOW", "window")] == ("Async", "seal")
+    assert verdicts[("CAMPAIGN", "campaign")] == ("Async", "seal")
+    assert verdicts[("CAMPAIGN", "-")][1] == "order"
+
+
+def test_wordcount_derivations(benchmark):
+    """Section VI-A: word-count label derivations, sealed and unsealed."""
+    from repro.apps.wordcount import wordcount_dataflow
+
+    def derive():
+        unsealed = analyze(wordcount_dataflow(sealed=False))
+        sealed = analyze(wordcount_dataflow(sealed=True))
+        return unsealed, sealed
+
+    unsealed, sealed = benchmark.pedantic(derive, rounds=3, iterations=1)
+    print()
+    print("Section VI-A — Storm word count derivations")
+    print(f"  unsealed sink label: {unsealed.label_of('Commit->sink')} (paper: Run)")
+    print(f"  sealed sink label  : {sealed.label_of('Commit->sink')} (paper: Async)")
+    assert str(unsealed.label_of("Commit->sink")) == "Run"
+    assert str(sealed.label_of("Commit->sink")) == "Async"

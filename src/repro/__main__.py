@@ -1,0 +1,6 @@
+"""``python -m repro`` dispatches to the blazes CLI."""
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,444 @@
+"""The ad-tracking network (paper Sections I-B, VI-B, VIII-B).
+
+Ad servers generate click-log entries and ship them to a set of replicated
+reporting servers running the CAMPAIGN standing query; analysts pose
+requests.  Four delivery regimes reproduce the paper's Figures 12-14:
+
+``uncoordinated``
+    Clicks flow straight to every replica — fastest, but replicas can
+    return inconsistent answers (the paper "confirmed by observation").
+``ordered``
+    Every click and request is routed through the Zookeeper sequencer, so
+    all replicas apply an identical total order.  Consistent, but the
+    serialized quorum writes become the bottleneck.
+``seal``
+    Every ad server produces clicks for every campaign and punctuates each
+    campaign when it finishes; a replica releases a campaign partition
+    once all producers have sealed it (step-like progress).
+``independent-seal``
+    Each campaign is mastered at exactly one ad server, so one punctuation
+    releases the partition (smooth progress, lowest latency).
+
+The metric is the one the paper plots: cumulative click-log records
+processed (visible in a reporting server's ``clicks`` table) over time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from collections.abc import Iterable
+
+from repro.apps.queries import make_report_module
+from repro.bloom.cluster import INSERT_MSG, BloomCluster, BloomNode
+from repro.bloom.rewrite import OrderedInputAdapter, SealedInputAdapter
+from repro.coord.sealing import SealedStreamProducer
+from repro.coord.zookeeper import ZkClient, install_zookeeper
+from repro.errors import SimulationError
+from repro.sim.network import LatencyModel, Process
+
+__all__ = [
+    "STRATEGIES",
+    "AdWorkload",
+    "AdNetworkResult",
+    "run_ad_network",
+    "ad_network_dataflow",
+]
+
+STRATEGIES = ("uncoordinated", "ordered", "seal", "independent-seal")
+
+ORDER_TOPIC = "report.inputs"
+CLICK_STREAM = "click"
+
+
+@dataclasses.dataclass(frozen=True)
+class AdWorkload:
+    """Workload parameters (paper Section VIII-B defaults)."""
+
+    ad_servers: int = 5
+    entries_per_server: int = 1000
+    batch_size: int = 50
+    sleep: float = 0.25
+    campaigns: int = 20
+    ads_per_campaign: int = 5
+    requests: int = 12
+    report_replicas: int = 3
+
+    @property
+    def total_entries(self) -> int:
+        return self.ad_servers * self.entries_per_server
+
+
+def ad_network_dataflow(query: str, *, seal: list[str] | None = None):
+    """The Figure 4 logical dataflow with the paper's manual annotations.
+
+    This is the grey-box view of the system (Section VI-B1): the Report
+    component carries the hand-written annotation for ``query`` (one of
+    THRESH / POOR / WINDOW / CAMPAIGN) and the Cache tier its three
+    confluent paths, including the gossip self-edge.  ``seal`` optionally
+    annotates the clickstream.
+    """
+    from repro.core.annotations import CR, CW, OR
+    from repro.core.graph import Dataflow
+
+    queries = {
+        "THRESH": CR(),
+        "POOR": OR("id"),
+        "WINDOW": OR("id", "window"),
+        "CAMPAIGN": OR("id", "campaign"),
+    }
+    if query not in queries:
+        raise ValueError(f"unknown query {query!r}; have {sorted(queries)}")
+    flow = Dataflow(f"ad-network-{query}")
+    report = flow.add_component("Report", rep=True)
+    report.add_path("click", "response", CW())
+    report.add_path("request", "response", queries[query])
+    cache = flow.add_component("Cache")
+    cache.add_path("request", "response", CR())
+    cache.add_path("response", "response", CW())
+    cache.add_path("request", "request", CR())
+    flow.add_stream("c", dst=("Report", "click"), seal=seal)
+    flow.add_stream("q", dst=("Cache", "request"))
+    flow.add_stream("q_fwd", src=("Cache", "request"), dst=("Report", "request"))
+    flow.add_stream("r", src=("Report", "response"), dst=("Cache", "response"))
+    flow.add_stream("gossip", src=("Cache", "response"), dst=("Cache", "response"))
+    flow.add_stream("answers", src=("Cache", "response"))
+    return flow
+
+
+class AdServer(Process):
+    """Generates click-log entries in bursts and dispatches them.
+
+    ``interleave`` models the data placement the paper discusses in
+    Section X ("coordination locality"): when a campaign is mastered at
+    this server (``interleave=False``, the independent-seal placement) its
+    records are emitted contiguously and sealed as soon as the last one is
+    sent; when ads are placed by serving locality instead
+    (``interleave=True``) the server's clicks for different campaigns
+    interleave arbitrarily, so most campaigns can only be sealed near the
+    end of the stream.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        workload: AdWorkload,
+        campaigns: list[int],
+        strategy: str,
+        report_nodes: list[str],
+        seed: int,
+        interleave: bool = False,
+    ) -> None:
+        super().__init__(name)
+        self.workload = workload
+        self.strategy = strategy
+        self.report_nodes = report_nodes
+        self.zk = ZkClient(self) if strategy == "ordered" else None
+        self._producers: dict[str, SealedStreamProducer] = {}
+        if strategy in ("seal", "independent-seal"):
+            self._producers = {
+                node: SealedStreamProducer(self, CLICK_STREAM)
+                for node in report_nodes
+            }
+        self._entries = self._plan_entries(campaigns, seed, interleave)
+        self._last_index = {
+            row[0]: position for position, row in enumerate(self._entries)
+        }
+        self._cursor = 0
+        self.sent = 0
+
+    def _plan_entries(
+        self, campaigns: list[int], seed: int, interleave: bool
+    ) -> list[tuple]:
+        """Lay out the server's click records."""
+        rng = random.Random(f"adserver:{self.name}:{seed}")
+        per_campaign = self.workload.entries_per_server // len(campaigns)
+        extra = self.workload.entries_per_server - per_campaign * len(campaigns)
+        entries: list[tuple] = []
+        for index, campaign in enumerate(campaigns):
+            count = per_campaign + (1 if index < extra else 0)
+            for _ in range(count):
+                ad = f"ad{campaign}-{rng.randrange(self.workload.ads_per_campaign)}"
+                window = rng.randrange(4)
+                uid = f"{self.name}-{len(entries)}"
+                entries.append((f"c{campaign}", window, ad, uid))
+        if interleave:
+            rng.shuffle(entries)
+        return entries
+
+    def on_start(self) -> None:
+        self.after(0.0, self._burst)
+
+    def _burst(self) -> None:
+        end = min(self._cursor + self.workload.batch_size, len(self._entries))
+        batch = self._entries[self._cursor:end]
+        boundary_campaigns = self._campaign_boundaries(self._cursor, end)
+        for row in batch:
+            self._dispatch(row)
+        self.sent += len(batch)
+        self._cursor = end
+        for campaign in boundary_campaigns:
+            self._seal_campaign(campaign)
+        if self._cursor < len(self._entries):
+            self.after(self.workload.sleep, self._burst)
+        elif self._producers:
+            # punctuate anything still open (defensive; boundaries cover it)
+            for node, producer in self._producers.items():
+                producer.seal_all(node)
+
+    def _campaign_boundaries(self, start: int, end: int) -> list[str]:
+        """Campaigns whose final record lies within [start, end)."""
+        done = []
+        for position in range(start, end):
+            campaign = self._entries[position][0]
+            if self._last_index[campaign] == position:
+                done.append(campaign)
+        return done
+
+    def _dispatch(self, row: tuple) -> None:
+        if self.strategy == "uncoordinated":
+            for node in self.report_nodes:
+                self.send(node, INSERT_MSG, ("click", [row]))
+        elif self.strategy == "ordered":
+            assert self.zk is not None
+            self.zk.submit(ORDER_TOPIC, ("click", row))
+        else:  # seal strategies
+            campaign = row[0]
+            for node, producer in self._producers.items():
+                producer.send_record(node, campaign, row)
+
+    def _seal_campaign(self, campaign: str) -> None:
+        for node, producer in self._producers.items():
+            if campaign not in producer.sealed_partitions:
+                producer.seal(node, campaign)
+
+    def recv(self, msg) -> None:
+        if self.zk is not None and self.zk.handle(msg):
+            return
+        raise SimulationError(f"ad server {self.name} got {msg.kind}")
+
+
+class Analyst(Process):
+    """Poses requests about ads to every reporting replica."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        workload: AdWorkload,
+        strategy: str,
+        report_nodes: list[str],
+        horizon: float,
+        seed: int,
+    ) -> None:
+        super().__init__(name)
+        self.workload = workload
+        self.strategy = strategy
+        self.report_nodes = report_nodes
+        self.horizon = horizon
+        self.zk = ZkClient(self) if strategy == "ordered" else None
+        self.rng = random.Random(f"analyst:{seed}")
+
+    def on_start(self) -> None:
+        spacing = self.horizon / max(1, self.workload.requests)
+        for index in range(self.workload.requests):
+            campaign = self.rng.randrange(self.workload.campaigns)
+            ad = f"ad{campaign}-{self.rng.randrange(self.workload.ads_per_campaign)}"
+            row = (f"q{index}", ad)
+            self.after(spacing * (index + 1), lambda r=row: self._ask(r))
+
+    def _ask(self, row: tuple) -> None:
+        if self.strategy == "ordered":
+            assert self.zk is not None
+            self.zk.submit(ORDER_TOPIC, ("request", row))
+        else:
+            for node in self.report_nodes:
+                self.send(node, INSERT_MSG, ("request", [row]))
+
+    def recv(self, msg) -> None:
+        if self.zk is not None and self.zk.handle(msg):
+            return
+        raise SimulationError(f"analyst got {msg.kind}")
+
+
+@dataclasses.dataclass
+class AdNetworkResult:
+    """Outcome of one ad-network run."""
+
+    strategy: str
+    workload: AdWorkload
+    cluster: BloomCluster
+    report_nodes: list[str]
+    completion_time: float
+    registry_lookups: int
+
+    def processed_series(
+        self, node: str | None = None, *, bucket: float = 0.25
+    ) -> list[tuple[float, int]]:
+        """Cumulative processed-record count over time (Figures 12-14)."""
+        source = node or self.report_nodes[0]
+        return self.cluster.trace.timeline(f"processed:{source}", bucket=bucket)
+
+    def processed_count(self, node: str | None = None) -> int:
+        source = node or self.report_nodes[0]
+        return self.cluster.trace.count(f"processed:{source}")
+
+    def responses(self, node: str) -> frozenset[tuple]:
+        """Every response a replica ever emitted."""
+        return self.cluster.node(node).output_history("response")
+
+    @property
+    def replicas_agree(self) -> bool:
+        """Did every replica emit the same response set?"""
+        sets = [self.responses(node) for node in self.report_nodes]
+        return all(s == sets[0] for s in sets[1:])
+
+
+def run_ad_network(
+    strategy: str,
+    *,
+    workload: AdWorkload | None = None,
+    seed: int = 0,
+    workload_seed: int | None = None,
+    query: str = "CAMPAIGN",
+    query_kwargs: dict | None = None,
+    zk_write_service: float = 0.003,
+    max_events: int | None = None,
+) -> AdNetworkResult:
+    """Execute the ad-tracking network under one coordination regime.
+
+    ``seed`` controls network nondeterminism (delivery interleavings);
+    ``workload_seed`` (defaulting to ``seed``) controls the generated
+    click log, so two runs can share a workload while exploring different
+    delivery orders.
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; have {STRATEGIES}")
+    workload = workload or AdWorkload()
+    workload_seed = seed if workload_seed is None else workload_seed
+    cluster = BloomCluster(seed=seed, latency=LatencyModel(base=0.002, jitter=0.004))
+
+    report_nodes = [f"report{i}" for i in range(workload.report_replicas)]
+    server_names = [f"adserver{i}" for i in range(workload.ad_servers)]
+
+    needs_zk = strategy in ("ordered", "seal", "independent-seal")
+    zk = install_zookeeper(cluster.network, write_service=zk_write_service) if needs_zk else None
+
+    campaign_producers = _campaign_assignment(strategy, workload, server_names)
+
+    # Reporting replicas with their delivery policy.
+    adapters = []
+    for name in report_nodes:
+        module = make_report_module(query, **(query_kwargs or {}))
+        node = cluster.add_node(name, module)
+        _attach_processed_probe(cluster, node)
+        if strategy == "ordered":
+            adapters.append(OrderedInputAdapter(node, ORDER_TOPIC))
+            assert zk is not None
+            zk.subscribe(ORDER_TOPIC, name)
+        elif strategy in ("seal", "independent-seal"):
+            adapters.append(
+                SealedInputAdapter(
+                    node,
+                    CLICK_STREAM,
+                    "click",
+                    use_zk_registry=True,
+                )
+            )
+
+    if zk is not None:
+        for campaign, producers in campaign_producers.items():
+            zk.preload_znode(f"producers/{campaign!r}", sorted(producers))
+
+    # Ad servers.
+    horizon = (workload.entries_per_server / workload.batch_size) * workload.sleep
+    for index, name in enumerate(server_names):
+        campaigns = [
+            c
+            for c in range(workload.campaigns)
+            if name in campaign_producers[f"c{c}"]
+        ]
+        server = AdServer(
+            name,
+            workload=workload,
+            campaigns=campaigns,
+            strategy=strategy,
+            report_nodes=report_nodes,
+            seed=workload_seed + index,
+            # the independent-seal placement masters campaigns at single
+            # servers (contiguous emission); every other placement spreads
+            # ads by serving locality, interleaving campaigns in time
+            interleave=strategy != "independent-seal",
+        )
+        cluster.network.register(server)
+
+    analyst = Analyst(
+        "analyst",
+        workload=workload,
+        strategy=strategy,
+        report_nodes=report_nodes,
+        horizon=horizon,
+        seed=workload_seed,
+    )
+    cluster.network.register(analyst)
+
+    cluster.run(max_events=max_events)
+
+    registry_lookups = sum(
+        getattr(adapter, "manager", None).registry_lookups
+        if hasattr(adapter, "manager")
+        else 0
+        for adapter in adapters
+    )
+    completion = _completion_time(cluster, report_nodes, workload)
+    return AdNetworkResult(
+        strategy=strategy,
+        workload=workload,
+        cluster=cluster,
+        report_nodes=report_nodes,
+        completion_time=completion,
+        registry_lookups=registry_lookups,
+    )
+
+
+def _campaign_assignment(
+    strategy: str, workload: AdWorkload, server_names: list[str]
+) -> dict[str, frozenset[str]]:
+    """Which ad servers produce each campaign.
+
+    ``independent-seal`` masters each campaign at one server; every other
+    strategy spreads all campaigns across all servers.
+    """
+    assignment: dict[str, frozenset[str]] = {}
+    for campaign in range(workload.campaigns):
+        if strategy == "independent-seal":
+            owner = server_names[campaign % len(server_names)]
+            assignment[f"c{campaign}"] = frozenset({owner})
+        else:
+            assignment[f"c{campaign}"] = frozenset(server_names)
+    return assignment
+
+
+def _attach_processed_probe(cluster: BloomCluster, node: BloomNode) -> None:
+    """Record one trace event per click record that becomes visible."""
+    state = {"seen": 0}
+
+    def probe(_outputs) -> None:
+        size = len(node.runtime.read("clicks"))
+        for _ in range(size - state["seen"]):
+            cluster.trace.record(node.now, node.name, f"processed:{node.name}")
+        state["seen"] = size
+
+    node.on_tick = probe
+
+
+def _completion_time(
+    cluster: BloomCluster, report_nodes: list[str], workload: AdWorkload
+) -> float:
+    """Virtual time at which the slowest replica finished processing."""
+    times = []
+    for node in report_nodes:
+        last = cluster.trace.last(f"processed:{node}")
+        times.append(last.time if last is not None else cluster.sim.now)
+    return max(times) if times else cluster.sim.now

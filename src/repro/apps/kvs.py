@@ -1,0 +1,120 @@
+"""Convergence without confluence: the Section III-B key/value example.
+
+The paper distinguishes *convergent* components (replicas eventually reach
+the same state — eventual consistency) from *confluent* ones (outputs are a
+deterministic function of input sets).  Its canonical counterexample: a
+last-writer-wins key/value store is convergent — the final state is the
+maximum-timestamp write per key, whatever the delivery order — but GETs
+answered mid-stream read nondeterministic *snapshots*; when those snapshot
+responses flow into a replicated, stateful cache, transient disagreement
+hardens into permanent replica divergence.
+
+:class:`LwwKvs` implements the store as a Bloom module (so the white-box
+analysis applies to it), :class:`SnapshotCache` the downstream cache, and
+:func:`kvs_dataflow` the two-tier dataflow Blazes diagnoses.
+"""
+
+from __future__ import annotations
+
+from repro.bloom.module import BloomModule
+from repro.core.annotations import CW
+from repro.core.graph import Dataflow
+
+__all__ = ["LwwKvs", "SnapshotCache", "kvs_dataflow"]
+
+
+class LwwKvs(BloomModule):
+    """A last-writer-wins register store.
+
+    ``put(key, val, ts)`` writes are merged by timestamp (ties broken by
+    value, so the winner is a pure function of the write *set*);
+    ``get(reqid, key)`` reads return the current winner via ``getr``.
+
+    The winner computation aggregates over the accumulated writes, so the
+    module is syntactically nonmonotonic: the white-box analysis derives
+    an order-sensitive annotation with gate ``{key}`` — each key is an
+    independent partition, which is exactly why per-key seals (or ordered
+    delivery) restore determinism.
+    """
+
+    def setup(self) -> None:
+        self.input_interface("put", ["key", "val", "ts"])
+        self.input_interface("get", ["reqid", "key"])
+        self.output_interface("getr", ["reqid", "key", "val"])
+        self.table("writes", ["key", "val", "ts"])
+
+    def rules(self):
+        tagged = self.calc(
+            self.scan("writes"), "rank", lambda val, ts: (ts, val), ["val", "ts"]
+        )
+        best = self.group_by(tagged, ["key"], [("maxrank", "max", "rank")])
+        current = self.select(
+            self.join(tagged, best, on=[("key", "key")]),
+            lambda row: row["rank"] == row["maxrank"],
+            refs=["rank", "maxrank"],
+        )
+        answers = self.project(current, ["key", "val"])
+        return [
+            self.rule("writes", "<=", self.scan("put")),
+            self.rule(
+                "getr",
+                "<=",
+                self.join(self.scan("get"), answers, on=[("key", "key")]),
+            ),
+        ]
+
+    def current_value(self, runtime, key):
+        """The store's winning value for ``key`` (test/debug helper)."""
+        best = None
+        for row_key, val, ts in runtime.read("writes"):
+            if row_key != key:
+                continue
+            rank = (ts, val)
+            if best is None or rank > best:
+                best = rank
+        return best[1] if best is not None else None
+
+
+class SnapshotCache(BloomModule):
+    """A replicated cache that remembers every response it ever saw.
+
+    Append-only and order-insensitive in itself (``CW``), but caching the
+    nondeterministic snapshots of an LWW store pins them forever — the
+    replica-divergence mechanism of paper Section III-B.
+    """
+
+    def setup(self) -> None:
+        self.input_interface("response", ["reqid", "key", "val"])
+        self.output_interface("cached", ["reqid", "key", "val"])
+        self.table("entries", ["reqid", "key", "val"])
+
+    def rules(self):
+        return [
+            self.rule("entries", "<=", self.scan("response")),
+            self.rule("cached", "<=", self.scan("entries")),
+        ]
+
+
+def kvs_dataflow(*, seal_puts_on_key: bool = False) -> Dataflow:
+    """The two-tier dataflow: LWW store feeding a replicated cache tier.
+
+    Annotations for the store come from the white-box analysis; the cache
+    is annotated by hand (a single confluent-write path).  With
+    ``seal_puts_on_key`` the write stream carries ``Seal[key]``, which is
+    compatible with the store's gate and discharges the coordination.
+    """
+    from repro.bloom.analysis import analyze_module, attach_component
+
+    flow = Dataflow("kvs-cache")
+    kvs = LwwKvs()
+    analysis = analyze_module(kvs)
+    attach_component(flow, kvs, name="Store", rep=True, analysis=analysis)
+    cache = flow.add_component("Cache")
+    cache.add_path("response", "cached", CW())
+    flow.add_stream(
+        "puts", dst=("Store", "put"), seal=["key"] if seal_puts_on_key else None
+    )
+    flow.add_stream("gets", dst=("Store", "get"))
+    flow.add_stream("responses", src=("Store", "getr"), dst=("Cache", "response"))
+    flow.add_stream("cached", src=("Cache", "cached"))
+    return flow

@@ -1,0 +1,256 @@
+"""The streaming word-count topology (paper Figure 2).
+
+Tweets are drawn from a Zipf-distributed vocabulary, batched, and randomly
+partitioned to ``Splitter`` tasks; words hash-partition to ``Count`` tasks,
+which tally per-``(word, batch)`` frequencies; at the end of a batch the
+counts flow to ``Commit`` tasks that record them in a backing store keyed
+by ``(word, batch)`` — idempotent under replay, which is exactly why the
+paper's analysis says the topology needs no global commit ordering once
+the input stream is sealed on ``batch``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+from repro.core.analysis import AnalysisResult, analyze
+from repro.core.graph import Dataflow
+from repro.storm.adapter import topology_to_dataflow
+from repro.storm.executor import ClusterConfig, StormCluster
+from repro.storm.metrics import RunMetrics, collect_metrics
+from repro.storm.topology import Bolt, Spout, Topology, TopologyBuilder
+from repro.storm.tuples import Fields
+
+__all__ = [
+    "TweetSpout",
+    "SplitterBolt",
+    "CountBolt",
+    "CommitBolt",
+    "build_wordcount_topology",
+    "wordcount_dataflow",
+    "analyze_wordcount",
+    "run_wordcount",
+]
+
+
+class ZipfVocabulary:
+    """A Zipf(s) distribution over a synthetic vocabulary.
+
+    Word ``w{i}`` has probability proportional to ``1 / (i+1)**s`` — the
+    usual heavy-tailed shape of natural-language word frequencies.
+    """
+
+    def __init__(self, size: int = 500, s: float = 1.1) -> None:
+        weights = [1.0 / (i + 1) ** s for i in range(size)]
+        total = sum(weights)
+        self.words = [f"w{i}" for i in range(size)]
+        self._cdf: list[float] = []
+        cumulative = 0.0
+        for weight in weights:
+            cumulative += weight / total
+            self._cdf.append(cumulative)
+
+    def sample(self, rng: random.Random) -> str:
+        return self.words[bisect.bisect_left(self._cdf, rng.random())]
+
+
+class TweetSpout(Spout):
+    """Emits batches of synthetic tweets; replay-deterministic.
+
+    A batch's contents are a pure function of ``(seed, batch_id)``, so a
+    replayed batch is byte-identical to the original — the redelivery
+    contract Storm's fault tolerance requires.
+    """
+
+    output_fields = Fields("tweet")
+
+    def __init__(
+        self,
+        *,
+        total_batches: int,
+        batch_size: int = 50,
+        words_per_tweet: int = 3,
+        vocabulary: ZipfVocabulary | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.total_batches = total_batches
+        self.batch_size = batch_size
+        self.words_per_tweet = words_per_tweet
+        self.vocabulary = vocabulary or ZipfVocabulary()
+        self.seed = seed
+
+    def next_batch(self, batch_id: int) -> list[tuple] | None:
+        if batch_id >= self.total_batches:
+            return None
+        rng = random.Random(f"{self.seed}:{batch_id}")
+        batch = []
+        for _ in range(self.batch_size):
+            words = [
+                self.vocabulary.sample(rng) for _ in range(self.words_per_tweet)
+            ]
+            batch.append((" ".join(words),))
+        return batch
+
+
+class SplitterBolt(Bolt):
+    """Divides tweets into their constituent words (confluent, stateless)."""
+
+    output_fields = Fields("word")
+    blazes_annotations = [{"from": "tweets", "to": "words", "label": "CR"}]
+
+    def execute(self, tup, emit) -> None:
+        for word in tup[0].split():
+            emit((word,))
+
+
+class CountBolt(Bolt):
+    """Tallies word occurrences within the current batch.
+
+    Stateful and order-sensitive in general — but sealable on
+    ``(word, batch)``, which is the annotation the paper assigns it.
+    """
+
+    output_fields = Fields("word", "batch", "count")
+    blazes_annotations = [
+        {
+            "from": "words",
+            "to": "counts",
+            "label": "OW",
+            "subscript": ["word", "batch"],
+        }
+    ]
+
+    def __init__(self) -> None:
+        self._counts: dict[tuple[str, int], int] = {}
+
+    def execute(self, tup, emit) -> None:
+        key = (tup[0], tup.batch)
+        self._counts[key] = self._counts.get(key, 0) + 1
+
+    def finish_batch(self, batch_id: int, emit) -> None:
+        for (word, batch), count in sorted(self._counts.items()):
+            if batch == batch_id:
+                emit((word, batch, count))
+        self._counts = {
+            key: count for key, count in self._counts.items() if key[1] != batch_id
+        }
+
+    def reset_batch(self, batch_id: int) -> None:
+        """A replay superseded this batch: discard its partial tallies."""
+        self._counts = {
+            key: count for key, count in self._counts.items() if key[1] != batch_id
+        }
+
+
+class CommitBolt(Bolt):
+    """Records per-batch word frequencies in a backing store.
+
+    The store is keyed by ``(word, batch)``: appends are idempotent under
+    replay, so the component is confluent-stateful (``CW``).
+    """
+
+    output_fields = Fields()
+    blazes_annotations = [{"from": "counts", "to": "db", "label": "CW"}]
+
+    def __init__(self) -> None:
+        self.store: dict[tuple[str, int], int] = {}
+        self._pending: dict[int, list[tuple]] = {}
+        self.commits = 0
+
+    def execute(self, tup, emit) -> None:
+        word, batch, count = tup.values
+        self._pending.setdefault(batch, []).append((word, batch, count))
+
+    def finish_batch(self, batch_id: int, emit) -> None:
+        for word, batch, count in self._pending.pop(batch_id, []):
+            self.store[(word, batch)] = count
+        self.commits += 1
+
+    def reset_batch(self, batch_id: int) -> None:
+        self._pending.pop(batch_id, None)
+
+
+def build_wordcount_topology(
+    *,
+    workers: int = 5,
+    spouts: int | None = None,
+    committers: int | None = None,
+    total_batches: int = 20,
+    batch_size: int = 50,
+    seed: int = 0,
+) -> Topology:
+    """Wire the Figure 2 topology for a given cluster size."""
+    spouts = spouts if spouts is not None else max(1, workers // 2)
+    committers = committers if committers is not None else max(1, workers // 2)
+    builder = TopologyBuilder("wordcount")
+    builder.set_spout(
+        "tweets",
+        lambda: TweetSpout(
+            total_batches=total_batches, batch_size=batch_size, seed=seed
+        ),
+        parallelism=spouts,
+    )
+    builder.set_bolt("Splitter", SplitterBolt, parallelism=workers).shuffle_grouping(
+        "tweets"
+    )
+    builder.set_bolt("Count", CountBolt, parallelism=workers).fields_grouping(
+        "Splitter", "word"
+    )
+    builder.set_bolt("Commit", CommitBolt, parallelism=committers).fields_grouping(
+        "Count", "word"
+    )
+    return builder.build()
+
+
+def wordcount_dataflow(*, sealed: bool) -> Dataflow:
+    """The grey-box dataflow of the word-count topology."""
+    topology = build_wordcount_topology(workers=1, total_batches=1)
+    seals = {"tweets": ["batch"]} if sealed else None
+    return topology_to_dataflow(topology, seals=seals)
+
+
+def analyze_wordcount(*, sealed: bool) -> AnalysisResult:
+    """Run the Blazes analysis on the word-count dataflow."""
+    return analyze(wordcount_dataflow(sealed=sealed))
+
+
+def run_wordcount(
+    *,
+    workers: int = 5,
+    total_batches: int = 20,
+    batch_size: int = 50,
+    transactional: bool = False,
+    seed: int = 0,
+    drop_prob: float = 0.0,
+    replay_timeout: float | None = None,
+    max_events: int | None = None,
+) -> tuple[RunMetrics, StormCluster]:
+    """Execute the topology and return (metrics, finished cluster).
+
+    ``transactional=True`` is the paper's conservative deployment: batch
+    commits serialize through the coordinator and Zookeeper.  With
+    ``transactional=False`` the topology relies on batch sealing alone,
+    which Blazes proves sufficient for deterministic replay.
+    """
+    topology = build_wordcount_topology(
+        workers=workers,
+        total_batches=total_batches,
+        batch_size=batch_size,
+        seed=seed,
+    )
+    config = ClusterConfig(
+        seed=seed,
+        transactional=transactional,
+        drop_prob=drop_prob,
+        replay_timeout=replay_timeout,
+        zk_write_service=0.002,
+        exec_times={
+            "Splitter": 0.0002,
+            "Count": 0.0001,
+            "Commit": 0.0001,
+        },
+    )
+    cluster = StormCluster(topology, config)
+    cluster.run(max_events=max_events)
+    return collect_metrics(cluster, batch_size), cluster

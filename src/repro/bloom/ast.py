@@ -1,0 +1,496 @@
+"""Relational-algebra AST for Bloom rule bodies.
+
+Bloom rules are declarative: the right-hand side of every rule is a tree of
+relational operators over collections.  Representing rule bodies as an
+explicit AST is what enables the paper's *white box* analysis
+(Section VII): monotonicity is a syntactic property of the tree (no
+antijoin, no aggregation), and attribute *lineage* — which output columns
+are identity copies of which input columns — feeds the injective
+functional-dependency chase that decides seal compatibility.
+
+Every node knows its output ``schema`` (a tuple of column names), can
+``eval`` itself against an environment mapping collection names to tuple
+sets, and reports ``lineage()``: for each output column, the set of
+``(collection, column)`` pairs it copies untransformed (empty for computed
+columns).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Iterable, Mapping
+
+from repro.errors import BloomError
+
+__all__ = [
+    "Node",
+    "Scan",
+    "Project",
+    "Calc",
+    "Select",
+    "Join",
+    "AntiJoin",
+    "GroupBy",
+    "Union",
+    "Const",
+    "AGGREGATES",
+]
+
+Env = Mapping[str, frozenset[tuple]]
+LineageMap = dict[str, frozenset[tuple[str, str]]]
+
+
+class Node:
+    """Base class for relational operators."""
+
+    schema: tuple[str, ...] = ()
+
+    def eval(self, env: Env) -> frozenset[tuple]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def lineage(self) -> LineageMap:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    @property
+    def monotonic(self) -> bool:
+        """Syntactic monotonicity: no antijoin / aggregation anywhere.
+
+        A ``GroupBy`` carrying a *monotone hint* (the lattice-style
+        assertion that its aggregate is only observed through a monotone
+        threshold, as in the paper's THRESH query) does not count as
+        nonmonotonic.
+        """
+        if not all(child.monotonic for child in self.children):
+            return False
+        if isinstance(self, AntiJoin):
+            return False
+        if isinstance(self, GroupBy):
+            return self.monotone_hint
+        return True
+
+    @property
+    def children(self) -> tuple["Node", ...]:
+        return ()
+
+    def scans(self) -> frozenset[str]:
+        """Names of every collection the tree reads."""
+        names: set[str] = set()
+        stack: list[Node] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Scan):
+                names.add(node.collection)
+            stack.extend(node.children)
+        return frozenset(names)
+
+    def nonmonotonic_ops(self) -> tuple["Node", ...]:
+        """Every antijoin / aggregation node in the tree, outermost first."""
+        found: list[Node] = []
+        stack: list[Node] = [self]
+        while stack:
+            node = stack.pop(0)
+            if isinstance(node, AntiJoin) or (
+                isinstance(node, GroupBy) and not node.monotone_hint
+            ):
+                found.append(node)
+            stack.extend(node.children)
+        return tuple(found)
+
+    # small conveniences for fluent composition -------------------------
+    def project(self, *cols) -> "Project":
+        return Project(self, list(cols))
+
+    def where(self, predicate, refs: Iterable[str] = ()) -> "Select":
+        return Select(self, predicate, tuple(refs))
+
+    def _index(self, col: str) -> int:
+        try:
+            return self.schema.index(col)
+        except ValueError:
+            raise BloomError(
+                f"column {col!r} not in schema {self.schema} of {type(self).__name__}"
+            ) from None
+
+
+@dataclasses.dataclass
+class Scan(Node):
+    """Read every tuple of a named collection."""
+
+    collection: str
+    schema: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        self.schema = tuple(self.schema)
+
+    def eval(self, env: Env) -> frozenset[tuple]:
+        return env.get(self.collection, frozenset())
+
+    def lineage(self) -> LineageMap:
+        return {
+            col: frozenset({(self.collection, col)}) for col in self.schema
+        }
+
+
+class Project(Node):
+    """Projection with optional renaming.
+
+    ``cols`` entries are either a source column name (identity) or a
+    ``(source, alias)`` pair.  Identity projection preserves lineage —
+    the "trivial and ubiquitous" injective function of Section V-A1.
+    """
+
+    def __init__(self, child: Node, cols: Iterable[str | tuple[str, str]]):
+        self.child = child
+        self._pairs: list[tuple[str, str]] = []
+        for col in cols:
+            if isinstance(col, tuple):
+                src, alias = col
+            else:
+                src, alias = col, col
+            child._index(src)  # validates
+            self._pairs.append((src, alias))
+        if not self._pairs:
+            raise BloomError("projection requires at least one column")
+        aliases = [alias for _, alias in self._pairs]
+        if len(set(aliases)) != len(aliases):
+            raise BloomError(f"duplicate output columns in projection: {aliases}")
+        self.schema = tuple(aliases)
+
+    @property
+    def children(self) -> tuple[Node, ...]:
+        return (self.child,)
+
+    def eval(self, env: Env) -> frozenset[tuple]:
+        indexes = [self.child._index(src) for src, _ in self._pairs]
+        return frozenset(
+            tuple(row[i] for i in indexes) for row in self.child.eval(env)
+        )
+
+    def lineage(self) -> LineageMap:
+        child_lineage = self.child.lineage()
+        return {
+            alias: child_lineage.get(src, frozenset())
+            for src, alias in self._pairs
+        }
+
+
+class Calc(Node):
+    """Append a computed column (non-identity lineage).
+
+    ``fn`` receives the values of ``deps`` (in order) and returns the new
+    column's value.
+    """
+
+    def __init__(self, child: Node, out: str, fn: Callable, deps: Iterable[str]):
+        self.child = child
+        self.out = out
+        self.fn = fn
+        self.deps = tuple(deps)
+        for dep in self.deps:
+            child._index(dep)
+        if out in child.schema:
+            raise BloomError(f"computed column {out!r} shadows an existing column")
+        self.schema = child.schema + (out,)
+
+    @property
+    def children(self) -> tuple[Node, ...]:
+        return (self.child,)
+
+    def eval(self, env: Env) -> frozenset[tuple]:
+        indexes = [self.child._index(d) for d in self.deps]
+        return frozenset(
+            row + (self.fn(*(row[i] for i in indexes)),)
+            for row in self.child.eval(env)
+        )
+
+    def lineage(self) -> LineageMap:
+        lineage = dict(self.child.lineage())
+        lineage[self.out] = frozenset()  # computed: identity lost
+        return lineage
+
+
+class Select(Node):
+    """Filter rows by a predicate over named columns.
+
+    ``refs`` documents which columns the predicate reads (selection is
+    monotonic regardless).  The predicate receives a mapping from column
+    name to value.
+    """
+
+    def __init__(self, child: Node, predicate: Callable, refs: tuple[str, ...] = ()):
+        self.child = child
+        self.predicate = predicate
+        self.refs = refs
+        for ref in refs:
+            child._index(ref)
+        self.schema = child.schema
+
+    @property
+    def children(self) -> tuple[Node, ...]:
+        return (self.child,)
+
+    def eval(self, env: Env) -> frozenset[tuple]:
+        schema = self.child.schema
+        out = []
+        for row in self.child.eval(env):
+            if self.predicate(dict(zip(schema, row))):
+                out.append(row)
+        return frozenset(out)
+
+    def lineage(self) -> LineageMap:
+        return self.child.lineage()
+
+
+class Join(Node):
+    """Equijoin on pairs of columns (monotonic).
+
+    The output schema is the left schema followed by the right columns
+    that are not join keys; non-key column names must not collide.
+    """
+
+    def __init__(
+        self, left: Node, right: Node, on: Iterable[tuple[str, str]]
+    ):
+        self.left = left
+        self.right = right
+        self.on = tuple(on)
+        if not self.on:
+            raise BloomError("joins require at least one column pair")
+        for lcol, rcol in self.on:
+            left._index(lcol)
+            right._index(rcol)
+        right_keys = {rcol for _, rcol in self.on}
+        self._right_keep = tuple(c for c in right.schema if c not in right_keys)
+        collisions = set(self._right_keep) & set(left.schema)
+        if collisions:
+            raise BloomError(
+                f"join output columns collide: {sorted(collisions)}; "
+                f"project/rename before joining"
+            )
+        self.schema = left.schema + self._right_keep
+
+    @property
+    def children(self) -> tuple[Node, ...]:
+        return (self.left, self.right)
+
+    def eval(self, env: Env) -> frozenset[tuple]:
+        lidx = [self.left._index(l) for l, _ in self.on]
+        ridx = [self.right._index(r) for _, r in self.on]
+        keep_idx = [self.right._index(c) for c in self._right_keep]
+        index: dict[tuple, list[tuple]] = {}
+        for row in self.right.eval(env):
+            index.setdefault(tuple(row[i] for i in ridx), []).append(row)
+        out = []
+        for lrow in self.left.eval(env):
+            key = tuple(lrow[i] for i in lidx)
+            for rrow in index.get(key, ()):
+                out.append(lrow + tuple(rrow[i] for i in keep_idx))
+        return frozenset(out)
+
+    def lineage(self) -> LineageMap:
+        lineage = dict(self.left.lineage())
+        right_lineage = self.right.lineage()
+        for col in self._right_keep:
+            lineage[col] = right_lineage.get(col, frozenset())
+        return lineage
+
+
+class AntiJoin(Node):
+    """Rows of ``left`` with no match in ``right`` (nonmonotonic).
+
+    This is Bloom's ``not in``; the theta columns identify the sealable
+    partitions of the operation (paper Section VII-B2).
+    """
+
+    def __init__(self, left: Node, right: Node, on: Iterable[tuple[str, str]]):
+        self.left = left
+        self.right = right
+        self.on = tuple(on)
+        if not self.on:
+            raise BloomError("antijoins require at least one column pair")
+        for lcol, rcol in self.on:
+            left._index(lcol)
+            right._index(rcol)
+        self.schema = left.schema
+
+    @property
+    def children(self) -> tuple[Node, ...]:
+        return (self.left, self.right)
+
+    @property
+    def theta_columns(self) -> tuple[str, ...]:
+        """Left-side columns of the antijoin condition (the gate)."""
+        return tuple(l for l, _ in self.on)
+
+    def eval(self, env: Env) -> frozenset[tuple]:
+        lidx = [self.left._index(l) for l, _ in self.on]
+        ridx = [self.right._index(r) for _, r in self.on]
+        present = {
+            tuple(row[i] for i in ridx) for row in self.right.eval(env)
+        }
+        return frozenset(
+            row
+            for row in self.left.eval(env)
+            if tuple(row[i] for i in lidx) not in present
+        )
+
+    def lineage(self) -> LineageMap:
+        return self.left.lineage()
+
+
+def _agg_count(values: list) -> int:
+    return len(values)
+
+
+def _agg_sum(values: list):
+    return sum(values)
+
+
+def _agg_min(values: list):
+    return min(values)
+
+
+def _agg_max(values: list):
+    return max(values)
+
+
+def _agg_accum(values: list) -> frozenset:
+    return frozenset(values)
+
+
+AGGREGATES: dict[str, Callable[[list], object]] = {
+    "count": _agg_count,
+    "sum": _agg_sum,
+    "min": _agg_min,
+    "max": _agg_max,
+    "accum": _agg_accum,
+}
+
+
+class GroupBy(Node):
+    """Grouped aggregation (nonmonotonic).
+
+    ``aggs`` is a list of ``(output_column, aggregate_name, input_column)``
+    — ``input_column`` is ignored by ``count``.  The grouping keys are the
+    sealable partitions of the operation (paper Section VII-B2).
+
+    ``monotone`` asserts that downstream consumers observe the aggregate
+    only through monotone thresholds (e.g. ``count(*) > 1000``), in which
+    case the statement is confluent despite the aggregation — the CALM
+    extension of Conway et al.'s lattice work that the paper applies to
+    THRESH.
+    """
+
+    def __init__(
+        self,
+        child: Node,
+        keys: Iterable[str],
+        aggs: Iterable[tuple[str, str, str | None]],
+        *,
+        monotone: bool = False,
+    ):
+        self.child = child
+        self.keys = tuple(keys)
+        self.aggs = tuple(aggs)
+        self.monotone_hint = monotone
+        if not self.aggs:
+            raise BloomError("group_by requires at least one aggregate")
+        for key in self.keys:
+            child._index(key)
+        for out, agg_name, col in self.aggs:
+            if agg_name not in AGGREGATES:
+                raise BloomError(
+                    f"unknown aggregate {agg_name!r}; have {sorted(AGGREGATES)}"
+                )
+            if agg_name != "count" and col is None:
+                raise BloomError(f"aggregate {agg_name!r} requires an input column")
+            if col is not None:
+                child._index(col)
+        self.schema = self.keys + tuple(out for out, _, _ in self.aggs)
+
+    @property
+    def children(self) -> tuple[Node, ...]:
+        return (self.child,)
+
+    def eval(self, env: Env) -> frozenset[tuple]:
+        key_idx = [self.child._index(k) for k in self.keys]
+        groups: dict[tuple, list[tuple]] = {}
+        for row in self.child.eval(env):
+            groups.setdefault(tuple(row[i] for i in key_idx), []).append(row)
+        out = []
+        for key, rows in groups.items():
+            agg_values = []
+            for _out, agg_name, col in self.aggs:
+                if col is None:
+                    values = rows
+                else:
+                    idx = self.child._index(col)
+                    values = [row[idx] for row in rows]
+                agg_values.append(AGGREGATES[agg_name](values))
+            out.append(key + tuple(agg_values))
+        return frozenset(out)
+
+    def lineage(self) -> LineageMap:
+        child_lineage = self.child.lineage()
+        lineage = {key: child_lineage.get(key, frozenset()) for key in self.keys}
+        for out, _agg, _col in self.aggs:
+            lineage[out] = frozenset()  # aggregates are computed values
+        return lineage
+
+
+class Union(Node):
+    """Set union of identically-shaped inputs (monotonic)."""
+
+    def __init__(self, *parts: Node):
+        if len(parts) < 2:
+            raise BloomError("union requires at least two inputs")
+        arity = len(parts[0].schema)
+        for part in parts[1:]:
+            if len(part.schema) != arity:
+                raise BloomError(
+                    f"union arity mismatch: {parts[0].schema} vs {part.schema}"
+                )
+        self.parts = parts
+        self.schema = parts[0].schema
+
+    @property
+    def children(self) -> tuple[Node, ...]:
+        return tuple(self.parts)
+
+    def eval(self, env: Env) -> frozenset[tuple]:
+        out: set[tuple] = set()
+        for part in self.parts:
+            out |= part.eval(env)
+        return frozenset(out)
+
+    def lineage(self) -> LineageMap:
+        # A column keeps identity lineage only if every branch agrees.
+        maps = [part.lineage() for part in self.parts]
+        lineage: LineageMap = {}
+        for position, col in enumerate(self.schema):
+            sources: set[tuple[str, str]] | None = None
+            for part, part_map in zip(self.parts, maps):
+                branch_col = part.schema[position]
+                branch = part_map.get(branch_col, frozenset())
+                sources = branch if sources is None else (sources & branch)
+            lineage[col] = frozenset(sources or ())
+        return lineage
+
+
+class Const(Node):
+    """A literal collection of tuples (monotonic)."""
+
+    def __init__(self, rows: Iterable[tuple], schema: Iterable[str]):
+        self.rows = frozenset(tuple(r) for r in rows)
+        self.schema = tuple(schema)
+        for row in self.rows:
+            if len(row) != len(self.schema):
+                raise BloomError(
+                    f"const row {row} does not match schema {self.schema}"
+                )
+
+    def eval(self, env: Env) -> frozenset[tuple]:
+        return self.rows
+
+    def lineage(self) -> LineageMap:
+        return {col: frozenset() for col in self.schema}

@@ -1,0 +1,61 @@
+"""Bloom rules: a merge operator binding a collection to an RA tree.
+
+The four merge operators (Bud syntax):
+
+======  ============  ==================================================
+op      name          semantics
+======  ============  ==================================================
+``<=``  instantaneous merge into the left-hand side, within the timestep
+``<+``  deferred      merge at the *start of the next* timestep
+``<-``  delete        remove at the start of the next timestep
+``<~``  async         hand to the network; arrives at some later timestep
+======  ============  ==================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.bloom.ast import Node
+from repro.errors import BloomError
+
+__all__ = ["MERGE_OPS", "Rule"]
+
+MERGE_OPS = ("<=", "<+", "<-", "<~")
+
+
+@dataclasses.dataclass(frozen=True)
+class Rule:
+    """One Bloom statement: ``lhs op rhs``."""
+
+    lhs: str
+    op: str
+    rhs: Node
+
+    def __post_init__(self) -> None:
+        if self.op not in MERGE_OPS:
+            raise BloomError(f"unknown merge operator {self.op!r}; use {MERGE_OPS}")
+
+    @property
+    def instantaneous(self) -> bool:
+        return self.op == "<="
+
+    @property
+    def deferred(self) -> bool:
+        return self.op == "<+"
+
+    @property
+    def deletion(self) -> bool:
+        return self.op == "<-"
+
+    @property
+    def asynchronous(self) -> bool:
+        return self.op == "<~"
+
+    @property
+    def monotonic(self) -> bool:
+        """Syntactic monotonicity of the rule body (deletion is not)."""
+        return self.rhs.monotonic and not self.deletion
+
+    def __str__(self) -> str:
+        return f"{self.lhs} {self.op} {type(self.rhs).__name__}{self.rhs.schema}"

@@ -1,0 +1,235 @@
+"""Single-node Bloom runtime: timestep (fixpoint) evaluation.
+
+Bloom's operational model evaluates a program in *timesteps*.  Within one
+timestep:
+
+1. externally arriving tuples (channel deliveries, interface inserts) and
+   merges deferred from the previous step become visible;
+2. the instantaneous (``<=``) rules run to a set-theoretic fixpoint,
+   *stratum by stratum*: a rule whose body aggregates or negates a
+   collection belongs to a strictly higher stratum than every rule that
+   feeds that collection, so nonmonotonic operators only ever observe the
+   final contents of their inputs (stratified evaluation, as in classical
+   Datalog and Bud; the paper leans on this in Section III-C);
+3. the deferred (``<+``), deletion (``<-``), and asynchronous (``<~``)
+   rules are evaluated against the fixpoint; deferred merges apply at the
+   start of the next step, and async tuples are handed to the transport.
+
+Tables persist across steps; scratches, channels, and interfaces are
+emptied when a new step begins.  The fixpoint terminates because ``<=``
+only ever adds tuples within a step.  Programs with recursion through
+negation/aggregation are rejected as unstratifiable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from repro.bloom.collections import CollectionKind
+from repro.bloom.module import BloomModule
+from repro.errors import BloomError
+
+__all__ = ["BloomRuntime"]
+
+ChannelSend = Callable[[str, str, tuple], None]
+
+
+class BloomRuntime:
+    """Evaluates one module instance, one timestep at a time.
+
+    ``on_channel_send(channel, address, row)`` is invoked for every tuple
+    an async rule inserts into a channel; the cluster layer routes it over
+    the simulated network.
+    """
+
+    def __init__(
+        self,
+        module: BloomModule,
+        *,
+        on_channel_send: ChannelSend | None = None,
+    ) -> None:
+        self.module = module
+        self.on_channel_send = on_channel_send
+        self.storage: dict[str, set[tuple]] = {
+            decl.name: set() for decl in module.declarations
+        }
+        self._pending_inserts: dict[str, set[tuple]] = {}
+        self._pending_deletes: dict[str, set[tuple]] = {}
+        self._strata = _stratify(module)
+        self.tick_count = 0
+
+    # ------------------------------------------------------------------
+    # external input
+    # ------------------------------------------------------------------
+    def insert(self, collection: str, rows: Iterable[tuple]) -> None:
+        """Queue tuples for the next timestep (external stimulus)."""
+        decl = self.module.declaration(collection)
+        if decl.kind is CollectionKind.OUTPUT:
+            raise BloomError(f"cannot insert into output interface {collection!r}")
+        pending = self._pending_inserts.setdefault(collection, set())
+        for row in rows:
+            pending.add(decl.check_arity(row))
+
+    def deliver(self, channel: str, row: tuple) -> None:
+        """A network delivery into a channel (visible next timestep)."""
+        decl = self.module.declaration(channel)
+        if decl.kind is not CollectionKind.CHANNEL:
+            raise BloomError(f"{channel!r} is not a channel")
+        self._pending_inserts.setdefault(channel, set()).add(decl.check_arity(row))
+
+    @property
+    def has_pending_input(self) -> bool:
+        """True when queued inserts/deletes will affect the next step."""
+        return any(self._pending_inserts.values()) or any(
+            self._pending_deletes.values()
+        )
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def tick(self) -> dict[str, frozenset[tuple]]:
+        """Run one timestep; returns the contents of output interfaces."""
+        # 1. start of step: clear transients, apply pending merges.
+        for decl in self.module.declarations:
+            if decl.transient:
+                self.storage[decl.name] = set()
+        for name, rows in self._pending_deletes.items():
+            self.storage[name] -= rows
+        for name, rows in self._pending_inserts.items():
+            self.storage[name] |= rows
+        self._pending_inserts = {}
+        self._pending_deletes = {}
+
+        # 2. instantaneous rules to fixpoint, one stratum at a time, so
+        # nonmonotonic operators see only the final contents of lower
+        # strata.
+        for stratum in self._strata:
+            changed = True
+            while changed:
+                changed = False
+                env = {
+                    name: frozenset(rows) for name, rows in self.storage.items()
+                }
+                for rule in stratum:
+                    produced = rule.rhs.eval(env)
+                    target = self.storage[rule.lhs]
+                    before = len(target)
+                    decl = self.module.declaration(rule.lhs)
+                    for row in produced:
+                        target.add(decl.check_arity(row))
+                    if len(target) != before:
+                        changed = True
+
+        # 3. end of step: deferred / deletion / async rules.
+        env = {name: frozenset(rows) for name, rows in self.storage.items()}
+        for rule in self.module.program:
+            if rule.instantaneous:
+                continue
+            produced = rule.rhs.eval(env)
+            if rule.deferred:
+                pending = self._pending_inserts.setdefault(rule.lhs, set())
+                decl = self.module.declaration(rule.lhs)
+                pending.update(decl.check_arity(row) for row in produced)
+            elif rule.deletion:
+                pending = self._pending_deletes.setdefault(rule.lhs, set())
+                pending.update(tuple(row) for row in produced)
+            elif rule.asynchronous:
+                self._send_async(rule.lhs, produced)
+
+        self.tick_count += 1
+        return {
+            decl.name: frozenset(self.storage[decl.name])
+            for decl in self.module.outputs
+        }
+
+    def _send_async(self, channel: str, rows: Iterable[tuple]) -> None:
+        decl = self.module.declaration(channel)
+        if decl.kind is not CollectionKind.CHANNEL:
+            raise BloomError(
+                f"async rules must target channels; {channel!r} is a "
+                f"{decl.kind.value}"
+            )
+        if self.on_channel_send is None:
+            raise BloomError(
+                f"module {self.module.name} sends on channel {channel!r} but "
+                f"no transport is attached"
+            )
+        address_index = decl.columns.index(decl.address_column)
+        for row in rows:
+            self.on_channel_send(channel, row[address_index], row)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def read(self, collection: str) -> frozenset[tuple]:
+        """Contents of a collection as of the end of the last timestep."""
+        self.module.declaration(collection)
+        return frozenset(self.storage[collection])
+
+    def __repr__(self) -> str:
+        return f"BloomRuntime({self.module.name!r}, ticks={self.tick_count})"
+
+
+def _negated_scans(node) -> frozenset[str]:
+    """Collections a rule body aggregates or negates.
+
+    Scans under an (un-hinted) aggregation, and scans on the right side of
+    an antijoin, must be complete before the operator runs: they induce
+    stratum boundaries.
+    """
+    from repro.bloom.ast import AntiJoin, GroupBy
+
+    negated: set[str] = set()
+
+    def walk(current, under_negation: bool) -> None:
+        if isinstance(current, GroupBy) and not current.monotone_hint:
+            walk(current.child, True)
+            return
+        if isinstance(current, AntiJoin):
+            walk(current.left, under_negation)
+            walk(current.right, True)
+            return
+        from repro.bloom.ast import Scan
+
+        if isinstance(current, Scan):
+            if under_negation:
+                negated.add(current.collection)
+            return
+        for child in current.children:
+            walk(child, under_negation)
+
+    walk(node, False)
+    return frozenset(negated)
+
+
+def _stratify(module: BloomModule) -> list[list]:
+    """Group instantaneous rules into evaluation strata.
+
+    ``stratum(lhs) >= stratum(src)`` for positive dependencies and
+    ``stratum(lhs) > stratum(src)`` for aggregated/negated ones.  The
+    computation iterates to a fixpoint; exceeding the collection count
+    means recursion through negation — unstratifiable.
+    """
+    instantaneous = [r for r in module.program if r.instantaneous]
+    stratum: dict[str, int] = {d.name: 0 for d in module.declarations}
+    limit = len(stratum) + 1
+    changed = True
+    while changed:
+        changed = False
+        for rule in instantaneous:
+            negated = _negated_scans(rule.rhs)
+            for scanned in rule.rhs.scans():
+                required = stratum[scanned] + (1 if scanned in negated else 0)
+                if stratum[rule.lhs] < required:
+                    stratum[rule.lhs] = required
+                    if stratum[rule.lhs] > limit:
+                        raise BloomError(
+                            f"module {module.name} is unstratifiable: "
+                            f"recursion through aggregation/negation at "
+                            f"{rule.lhs!r}"
+                        )
+                    changed = True
+    buckets: dict[int, list] = {}
+    for rule in instantaneous:
+        buckets.setdefault(stratum[rule.lhs], []).append(rule)
+    return [buckets[level] for level in sorted(buckets)]

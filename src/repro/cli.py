@@ -1,0 +1,159 @@
+"""The ``blazes`` command-line interface.
+
+Subcommands:
+
+``blazes analyze SPEC [--derivations]``
+    Parse a grey-box spec file, run the label analysis, print the report.
+``blazes plan SPEC``
+    Print only the synthesized coordination plan.
+``blazes wordcount [--workers N] [--transactional] ...``
+    Execute the Storm word-count topology on the simulator.
+``blazes adreport [--strategy S] [--servers N] ...``
+    Execute the ad-tracking network under one coordination regime.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import __version__
+from repro.core import analyze, choose_strategies, load_spec, render_report
+from repro.core.derivation import render_all
+from repro.errors import BlazesError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="blazes",
+        description="Blazes: coordination analysis for distributed programs",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze_cmd = sub.add_parser("analyze", help="analyze a spec file")
+    analyze_cmd.add_argument("spec", help="path to a Blazes YAML spec")
+    analyze_cmd.add_argument(
+        "--derivations", action="store_true", help="include derivation trees"
+    )
+
+    plan_cmd = sub.add_parser("plan", help="print the coordination plan")
+    plan_cmd.add_argument("spec", help="path to a Blazes YAML spec")
+
+    lint_cmd = sub.add_parser(
+        "lint", help="check the Section X design patterns"
+    )
+    lint_cmd.add_argument("spec", help="path to a Blazes YAML spec")
+
+    wc_cmd = sub.add_parser("wordcount", help="run the Storm word count")
+    wc_cmd.add_argument("--workers", type=int, default=5)
+    wc_cmd.add_argument("--batches", type=int, default=20)
+    wc_cmd.add_argument("--batch-size", type=int, default=50)
+    wc_cmd.add_argument("--transactional", action="store_true")
+    wc_cmd.add_argument("--seed", type=int, default=0)
+
+    ad_cmd = sub.add_parser("adreport", help="run the ad-tracking network")
+    ad_cmd.add_argument(
+        "--strategy",
+        default="seal",
+        choices=["uncoordinated", "ordered", "seal", "independent-seal"],
+    )
+    ad_cmd.add_argument("--servers", type=int, default=5)
+    ad_cmd.add_argument("--entries", type=int, default=500)
+    ad_cmd.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "analyze":
+            return _cmd_analyze(args)
+        if args.command == "plan":
+            return _cmd_plan(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
+        if args.command == "wordcount":
+            return _cmd_wordcount(args)
+        if args.command == "adreport":
+            return _cmd_adreport(args)
+    except BlazesError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    raise AssertionError("unreachable")
+
+
+def _cmd_analyze(args) -> int:
+    dataflow, fds = load_spec(args.spec)
+    result = analyze(dataflow, fds)
+    print(render_report(result, derivations=False))
+    if args.derivations:
+        print()
+        print(render_all(result))
+    return 0 if result.is_consistent else 2
+
+
+def _cmd_plan(args) -> int:
+    dataflow, fds = load_spec(args.spec)
+    result = analyze(dataflow, fds)
+    plan = choose_strategies(result)
+    print(plan.describe())
+    return 0
+
+
+def _cmd_lint(args) -> int:
+    from repro.core.patterns import lint_dataflow
+
+    dataflow, fds = load_spec(args.spec)
+    result = analyze(dataflow, fds)
+    findings = lint_dataflow(result)
+    if not findings:
+        print("no design-pattern findings")
+        return 0
+    for finding in findings:
+        print(finding)
+    return 3
+
+
+def _cmd_wordcount(args) -> int:
+    from repro.apps.wordcount import run_wordcount
+
+    metrics, _cluster = run_wordcount(
+        workers=args.workers,
+        total_batches=args.batches,
+        batch_size=args.batch_size,
+        transactional=args.transactional,
+        seed=args.seed,
+    )
+    mode = "transactional" if args.transactional else "sealed"
+    print(f"mode={mode} workers={args.workers}")
+    print(f"batches acked : {metrics.batches_acked}")
+    print(f"duration      : {metrics.duration:.3f} s (simulated)")
+    print(f"throughput    : {metrics.throughput:,.0f} tuples/s")
+    print(f"batch latency : {metrics.mean_batch_latency * 1000:.2f} ms (mean)")
+    return 0
+
+
+def _cmd_adreport(args) -> int:
+    from repro.apps.ad_network import AdWorkload, run_ad_network
+
+    workload = AdWorkload(
+        ad_servers=args.servers, entries_per_server=args.entries
+    )
+    result = run_ad_network(args.strategy, workload=workload, seed=args.seed)
+    print(f"strategy={args.strategy} servers={args.servers}")
+    print(f"records processed : {result.processed_count()}")
+    print(f"completion time   : {result.completion_time:.2f} s (simulated)")
+    print(f"replicas agree    : {result.replicas_agree}")
+    series = result.processed_series(bucket=max(0.5, result.completion_time / 20))
+    for time, count in series:
+        bar = "#" * int(60 * count / max(1, result.workload.total_entries))
+        print(f"  t={time:8.2f}s {count:6d} {bar}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

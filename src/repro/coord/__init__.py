@@ -1,0 +1,24 @@
+"""Coordination substrates: sequencing, ordered delivery, and sealing.
+
+Implements the two delivery mechanisms Blazes chooses between
+(paper Figure 5): ``M1/M2`` global message ordering through a
+Zookeeper-like sequencer, and ``M3`` partition sealing driven by stream
+punctuations.
+"""
+
+from repro.coord.ordering import OrderedConsumer, OrderedInbox
+from repro.coord.sealing import DATA, PUNCT, SealManager, SealedStreamProducer
+from repro.coord.zookeeper import ZkClient, ZkStats, ZookeeperService, install_zookeeper
+
+__all__ = [
+    "OrderedConsumer",
+    "OrderedInbox",
+    "DATA",
+    "PUNCT",
+    "SealManager",
+    "SealedStreamProducer",
+    "ZkClient",
+    "ZkStats",
+    "ZookeeperService",
+    "install_zookeeper",
+]

@@ -1,0 +1,244 @@
+"""The seal protocol: partition-local coordination (paper Section V-B1).
+
+Producers embed *punctuations* into their streams: a punctuation for
+partition ``p`` guarantees the producer will send no more records belonging
+to ``p``.  A consumer executing an order-sensitive component buffers each
+partition until it can prove the partition's contents are complete:
+
+1. it looks up the set of producers responsible for the partition (one
+   znode read per partition, exactly the "one call to Zookeeper per
+   campaign" of Section VIII-B3); and
+2. it waits until *every* producer in that set has sealed the partition —
+   the unanimous voting round.  When a partition has a single producer the
+   vote degenerates to that producer's own punctuation and no further
+   synchronization is needed.
+
+Once complete, the partition is released for processing — asynchronously
+with respect to every other partition, which is why sealing scales where
+global ordering does not.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable
+from typing import Any
+
+from repro.coord.ordering import OrderedInbox
+from repro.coord.zookeeper import ZkClient
+from repro.errors import SimulationError
+
+__all__ = ["SealedStreamProducer", "SealManager", "DATA", "PUNCT"]
+
+DATA = "seal.data"
+PUNCT = "seal.punct"
+
+_SEAL_MARK = object()
+
+Partition = Hashable
+
+
+class SealedStreamProducer:
+    """Producer-side helper: tag records with partitions and emit seals.
+
+    A punctuation only means something if the consumer can tell which data
+    records preceded it, but the simulated network reorders messages.  The
+    producer therefore stamps every message on a ``(stream, destination)``
+    channel with a dense sequence number and the consumer reassembles the
+    channel in order — the role TCP plays for real punctuated streams.
+    """
+
+    def __init__(self, process, stream: str) -> None:
+        self.process = process
+        self.stream = stream
+        self._sealed: set[Partition] = set()
+        self._open: set[Partition] = set()
+        self._chan_seq: dict[str, int] = {}
+
+    def _next_seq(self, dst: str) -> int:
+        seq = self._chan_seq.get(dst, 0)
+        self._chan_seq[dst] = seq + 1
+        return seq
+
+    def send_record(self, dst: str, partition: Partition, record: Any) -> None:
+        """Send one data record within a partition."""
+        if partition in self._sealed:
+            raise SimulationError(
+                f"producer {self.process.name} already sealed partition "
+                f"{partition!r} on stream {self.stream}"
+            )
+        self._open.add(partition)
+        self.process.send(
+            dst,
+            DATA,
+            (self.stream, self._next_seq(dst), partition, record, self.process.name),
+        )
+
+    def seal(self, dst: str, partition: Partition) -> None:
+        """Punctuate: promise no more records for ``partition``."""
+        self._sealed.add(partition)
+        self._open.discard(partition)
+        self.process.send(
+            dst,
+            PUNCT,
+            (self.stream, self._next_seq(dst), partition, self.process.name),
+        )
+
+    def seal_all(self, dst: str) -> None:
+        """Punctuate every partition this producer has touched."""
+        for partition in sorted(self._open, key=repr):
+            self.seal(dst, partition)
+
+    @property
+    def sealed_partitions(self) -> frozenset[Partition]:
+        return frozenset(self._sealed)
+
+
+class SealManager:
+    """Consumer-side seal coordination for one input stream.
+
+    Parameters
+    ----------
+    on_complete:
+        Called with ``(partition, records)`` exactly once per partition,
+        when its complete contents are known.
+    producers_for:
+        Synchronous partition-to-producer-set lookup (static topologies).
+        Mutually exclusive with ``zk_client``.
+    zk_client / registry_prefix:
+        Asynchronous lookup through the znode store: the producer set of
+        partition ``p`` lives at ``{registry_prefix}/{p!r}``.  The manager
+        issues exactly one read per partition and caches the result.
+    """
+
+    def __init__(
+        self,
+        stream: str,
+        on_complete: Callable[[Partition, list[Any]], None],
+        *,
+        producers_for: Callable[[Partition], frozenset[str]] | None = None,
+        zk_client: ZkClient | None = None,
+        registry_prefix: str = "producers",
+    ) -> None:
+        if (producers_for is None) == (zk_client is None):
+            raise SimulationError(
+                "SealManager requires exactly one of producers_for / zk_client"
+            )
+        self.stream = stream
+        self.on_complete = on_complete
+        self._producers_for = producers_for
+        self._zk = zk_client
+        self._registry_prefix = registry_prefix
+        self._channels: dict[str, OrderedInbox] = {}
+        self._buffers: dict[Partition, list[Any]] = {}
+        self._seals: dict[Partition, set[str]] = {}
+        self._producer_sets: dict[Partition, frozenset[str]] = {}
+        self._lookups_inflight: set[Partition] = set()
+        self.released: set[Partition] = set()
+        self.late_records = 0
+        self.registry_lookups = 0
+
+    # ------------------------------------------------------------------
+    # message handling
+    # ------------------------------------------------------------------
+    def handle(self, msg) -> bool:
+        """Route a network message; returns True when it belonged here.
+
+        Messages from each producer are reassembled in channel-sequence
+        order before the protocol sees them, so a punctuation can never
+        overtake the data records it covers.
+        """
+        if msg.kind == DATA:
+            stream, seq, partition, record, producer = msg.payload
+            if stream != self.stream:
+                return False
+            self._channel(producer).offer(seq, (partition, record, producer))
+            return True
+        if msg.kind == PUNCT:
+            stream, seq, partition, producer = msg.payload
+            if stream != self.stream:
+                return False
+            self._channel(producer).offer(seq, (partition, _SEAL_MARK, producer))
+            return True
+        return False
+
+    def _channel(self, producer: str) -> "OrderedInbox":
+        inbox = self._channels.get(producer)
+        if inbox is None:
+            inbox = OrderedInbox(self._apply_in_order)
+            self._channels[producer] = inbox
+        return inbox
+
+    def _apply_in_order(self, item: tuple[Partition, Any, str]) -> None:
+        partition, record, producer = item
+        if record is _SEAL_MARK:
+            self.on_seal(partition, producer)
+        else:
+            self.on_data(partition, record, producer)
+
+    def on_data(self, partition: Partition, record: Any, producer: str) -> None:
+        """Buffer one record until its partition is complete."""
+        if partition in self.released:
+            # At-least-once networks can replay records after release.
+            self.late_records += 1
+            return
+        self._buffers.setdefault(partition, []).append(record)
+        self._ensure_producer_set(partition)
+
+    def on_seal(self, partition: Partition, producer: str) -> None:
+        """Record one producer's punctuation and release if unanimous."""
+        if partition in self.released:
+            return
+        self._seals.setdefault(partition, set()).add(producer)
+        self._ensure_producer_set(partition)
+        self._maybe_release(partition)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _ensure_producer_set(self, partition: Partition) -> None:
+        if partition in self._producer_sets or partition in self._lookups_inflight:
+            return
+        if self._producers_for is not None:
+            self.registry_lookups += 1
+            self._producer_sets[partition] = frozenset(self._producers_for(partition))
+            return
+        assert self._zk is not None
+        self._lookups_inflight.add(partition)
+        self.registry_lookups += 1
+        path = f"{self._registry_prefix}/{partition!r}"
+        self._zk.get_znode(path, lambda value: self._registry_reply(partition, value))
+
+    def _registry_reply(self, partition: Partition, value: Any) -> None:
+        self._lookups_inflight.discard(partition)
+        if value is None:
+            raise SimulationError(
+                f"no producer registry entry for partition {partition!r}"
+            )
+        self._producer_sets[partition] = frozenset(value)
+        self._maybe_release(partition)
+
+    def _maybe_release(self, partition: Partition) -> None:
+        producers = self._producer_sets.get(partition)
+        if producers is None:
+            return
+        sealed = self._seals.get(partition, set())
+        if not producers <= sealed:
+            return
+        if partition in self.released:
+            return
+        self.released.add(partition)
+        records = self._buffers.pop(partition, [])
+        self._seals.pop(partition, None)
+        self.on_complete(partition, records)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_partitions(self) -> frozenset[Partition]:
+        """Partitions with buffered data not yet released."""
+        return frozenset(self._buffers)
+
+    def buffered_count(self, partition: Partition) -> int:
+        """Number of records currently buffered for one partition."""
+        return len(self._buffers.get(partition, ()))

@@ -1,0 +1,203 @@
+"""A Zookeeper-like coordination service for the simulator.
+
+The paper's ordering strategies use Zookeeper in two roles:
+
+* a **sequencer** (atomic broadcast): clients submit values to a topic, the
+  service assigns a global sequence number and broadcasts the value to all
+  subscribers of the topic, who apply deliveries in sequence order;
+* a small **znode store** used by the seal strategy to look up the set of
+  producers responsible for each partition ("one call to Zookeeper per
+  campaign", Section VIII-B3).
+
+The performance-relevant structure is the *serialization point*: all write
+operations funnel through one logical leader that commits each operation
+with a quorum round trip before starting the next.  The service is modeled
+as a single-server queue with per-operation service times, which is what
+produces the queueing collapse of the ordered strategy when load doubles
+(paper Figure 13).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from collections.abc import Callable
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.sim.network import Message, Network, Process
+
+__all__ = ["ZookeeperService", "ZkStats", "ZkClient", "install_zookeeper"]
+
+SUBMIT = "zk.submit"
+DELIVER = "zk.deliver"
+SET = "zk.set"
+GET = "zk.get"
+GET_REPLY = "zk.get_reply"
+SET_REPLY = "zk.set_reply"
+
+
+@dataclasses.dataclass
+class ZkStats:
+    """Operation counters for one service instance."""
+
+    submits: int = 0
+    deliveries: int = 0
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def total_ops(self) -> int:
+        return self.submits + self.reads + self.writes
+
+
+class ZookeeperService(Process):
+    """The simulated coordination service (leader's-eye view).
+
+    Parameters
+    ----------
+    write_service:
+        Virtual seconds the leader spends committing one write (quorum
+        round trip plus log fsync).  Writes serialize: this is the
+        sequencer's bottleneck.
+    read_service:
+        Virtual seconds for a read (served without the quorum round trip).
+    """
+
+    def __init__(
+        self,
+        name: str = "zookeeper",
+        *,
+        write_service: float = 0.004,
+        read_service: float = 0.001,
+    ) -> None:
+        super().__init__(name)
+        self.write_service = write_service
+        self.read_service = read_service
+        self.stats = ZkStats()
+        self._subscribers: dict[str, list[str]] = {}
+        self._sequences: dict[str, int] = {}
+        self._znodes: dict[str, Any] = {}
+        self._queue: deque[tuple[str, Message]] = deque()
+        self._busy = False
+
+    # ------------------------------------------------------------------
+    # control-plane configuration (pre-run, not messaging)
+    # ------------------------------------------------------------------
+    def subscribe(self, topic: str, process_name: str) -> None:
+        """Statically subscribe a process to ordered deliveries of a topic."""
+        self._subscribers.setdefault(topic, [])
+        if process_name not in self._subscribers[topic]:
+            self._subscribers[topic].append(process_name)
+
+    def preload_znode(self, path: str, value: Any) -> None:
+        """Populate a znode before the run starts (test/bench setup)."""
+        self._znodes[path] = value
+
+    def znode(self, path: str) -> Any:
+        """Read a znode synchronously (assertions only; no cost modeled)."""
+        return self._znodes.get(path)
+
+    # ------------------------------------------------------------------
+    # message handling
+    # ------------------------------------------------------------------
+    def recv(self, msg: Message) -> None:
+        if msg.kind not in (SUBMIT, SET, GET):
+            raise SimulationError(f"zookeeper got unexpected message {msg.kind}")
+        self._queue.append((msg.kind, msg))
+        self._pump()
+
+    def _pump(self) -> None:
+        if self._busy or not self._queue:
+            return
+        self._busy = True
+        kind, msg = self._queue.popleft()
+        service = self.read_service if kind == GET else self.write_service
+        self.after(service, lambda: self._complete(kind, msg))
+
+    def _complete(self, kind: str, msg: Message) -> None:
+        if kind == SUBMIT:
+            topic, value = msg.payload
+            self.stats.submits += 1
+            seq = self._sequences.get(topic, 0)
+            self._sequences[topic] = seq + 1
+            for subscriber in self._subscribers.get(topic, ()):
+                self.stats.deliveries += 1
+                self.send(subscriber, DELIVER, (topic, seq, value))
+        elif kind == SET:
+            path, value = msg.payload
+            self.stats.writes += 1
+            self._znodes[path] = value
+            self.send(msg.src, SET_REPLY, path)
+        elif kind == GET:
+            path = msg.payload
+            self.stats.reads += 1
+            self.send(msg.src, GET_REPLY, (path, self._znodes.get(path)))
+        self._busy = False
+        self._pump()
+
+
+class ZkClient:
+    """Client-side helpers for talking to a :class:`ZookeeperService`.
+
+    Mix into (or compose with) a :class:`~repro.sim.network.Process`:
+    the helpers send the request messages and the owning process routes
+    replies back through the callbacks registered here.
+    """
+
+    def __init__(self, process: Process, service_name: str = "zookeeper") -> None:
+        self.process = process
+        self.service_name = service_name
+        self._get_callbacks: dict[str, list[Callable[[Any], None]]] = {}
+        self._set_callbacks: dict[str, list[Callable[[], None]]] = {}
+
+    def submit(self, topic: str, value: Any) -> None:
+        """Submit a value for total-order broadcast on ``topic``."""
+        self.process.send(self.service_name, SUBMIT, (topic, value))
+
+    def set_znode(
+        self, path: str, value: Any, callback: Callable[[], None] | None = None
+    ) -> None:
+        """Asynchronously write a znode; ``callback`` fires on the ack.
+
+        The simulated network is unordered, so a read racing a write may
+        see the old value; sequence dependent operations through the ack.
+        """
+        if callback is not None:
+            self._set_callbacks.setdefault(path, []).append(callback)
+        self.process.send(self.service_name, SET, (path, value))
+
+    def get_znode(self, path: str, callback: Callable[[Any], None]) -> None:
+        """Asynchronously read a znode; ``callback`` gets its value."""
+        self._get_callbacks.setdefault(path, []).append(callback)
+        self.process.send(self.service_name, GET, path)
+
+    def handle(self, msg: Message) -> bool:
+        """Route a zookeeper reply; returns True when the message was one."""
+        if msg.kind == GET_REPLY:
+            path, value = msg.payload
+            callbacks = self._get_callbacks.get(path, [])
+            if callbacks:
+                callbacks.pop(0)(value)
+            return True
+        if msg.kind == SET_REPLY:
+            callbacks = self._set_callbacks.get(msg.payload, [])
+            if callbacks:
+                callbacks.pop(0)()
+            return True
+        return False
+
+
+def install_zookeeper(
+    network: Network,
+    *,
+    name: str = "zookeeper",
+    write_service: float = 0.004,
+    read_service: float = 0.001,
+) -> ZookeeperService:
+    """Create and register a service instance on a network."""
+    service = ZookeeperService(
+        name, write_service=write_service, read_service=read_service
+    )
+    network.register(service)
+    return service

@@ -1,0 +1,188 @@
+"""Component-path annotations: the C.O.W.R. scheme of paper Figure 7.
+
+Every path from an input interface to an output interface of a component
+carries one annotation:
+
+=========  ========  =========  ========
+label      severity  confluent  stateless
+=========  ========  =========  ========
+``CR``     1         yes        yes
+``CW``     2         yes        no
+``OR[g]``  3         no         yes
+``OW[g]``  4         no         no
+=========  ========  =========  ========
+
+The subscript ``g`` (the *gate*) of an order-sensitive annotation names the
+attribute partitions over which the path operates.  ``OR*`` / ``OW*`` mean
+the programmer does not know the partitioning; this reproduction treats the
+``*`` gate as incompatible with every seal (the conservative reading — see
+DESIGN.md section 2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable
+
+from repro.errors import AnnotationError
+
+__all__ = ["STAR", "AnnotationKind", "PathAnnotation", "CR", "CW", "OR", "OW", "parse_annotation"]
+
+
+class _Star:
+    """Sentinel for the unknown gate of ``OR*`` / ``OW*`` annotations."""
+
+    _instance: "_Star | None" = None
+
+    def __new__(cls) -> "_Star":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "*"
+
+
+STAR = _Star()
+
+
+import enum
+
+
+class AnnotationKind(enum.Enum):
+    """The four C.O.W.R. path-annotation kinds."""
+
+    CR = "CR"
+    CW = "CW"
+    OR = "OR"
+    OW = "OW"
+
+
+_SEVERITY = {
+    AnnotationKind.CR: 1,
+    AnnotationKind.CW: 2,
+    AnnotationKind.OR: 3,
+    AnnotationKind.OW: 4,
+}
+
+_CONFLUENT = frozenset({AnnotationKind.CR, AnnotationKind.CW})
+_STATEFUL = frozenset({AnnotationKind.CW, AnnotationKind.OW})
+
+
+@dataclasses.dataclass(frozen=True)
+class PathAnnotation:
+    """An annotation on one input-to-output path through a component.
+
+    ``gate`` is ``None`` for confluent annotations, :data:`STAR` for
+    unknown partitioning, or a non-empty frozen attribute set.
+    """
+
+    kind: AnnotationKind
+    gate: frozenset[str] | _Star | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind in _CONFLUENT:
+            if self.gate is not None:
+                raise AnnotationError(
+                    f"{self.kind.value} annotations are confluent and take no gate"
+                )
+        else:
+            if self.gate is None:
+                object.__setattr__(self, "gate", STAR)
+            elif self.gate is not STAR:
+                gate = frozenset(self.gate)
+                if not gate:
+                    raise AnnotationError("an explicit gate must be non-empty")
+                object.__setattr__(self, "gate", gate)
+
+    @property
+    def confluent(self) -> bool:
+        """True when the path produces order-insensitive output sets."""
+        return self.kind in _CONFLUENT
+
+    @property
+    def stateful(self) -> bool:
+        """True when inputs on the path modify component state (a Write)."""
+        return self.kind in _STATEFUL
+
+    @property
+    def severity(self) -> int:
+        """Severity rank 1-4 from paper Figure 7."""
+        return _SEVERITY[self.kind]
+
+    def __str__(self) -> str:
+        if self.confluent:
+            return self.kind.value
+        if self.gate is STAR:
+            return f"{self.kind.value}*"
+        assert isinstance(self.gate, frozenset)
+        return f"{self.kind.value}[{','.join(sorted(self.gate))}]"
+
+    __repr__ = __str__
+
+
+def CR() -> PathAnnotation:
+    """Confluent, stateless (Read-only) path."""
+    return PathAnnotation(AnnotationKind.CR)
+
+
+def CW() -> PathAnnotation:
+    """Confluent, stateful (Write) path."""
+    return PathAnnotation(AnnotationKind.CW)
+
+
+def OR(*gate: str | Iterable[str]) -> PathAnnotation:
+    """Order-sensitive, stateless path over partitions ``gate``.
+
+    With no arguments this is ``OR*`` (unknown partitioning).
+    """
+    return PathAnnotation(AnnotationKind.OR, _gate_of(gate))
+
+
+def OW(*gate: str | Iterable[str]) -> PathAnnotation:
+    """Order-sensitive, stateful path over partitions ``gate``.
+
+    With no arguments this is ``OW*`` (unknown partitioning).
+    """
+    return PathAnnotation(AnnotationKind.OW, _gate_of(gate))
+
+
+def _gate_of(parts: tuple[str | Iterable[str], ...]) -> frozenset[str] | _Star:
+    if not parts:
+        return STAR
+    attrs: set[str] = set()
+    for part in parts:
+        if isinstance(part, str):
+            attrs.add(part)
+        else:
+            attrs.update(part)
+    return frozenset(attrs)
+
+
+def parse_annotation(label: str, subscript: Iterable[str] | None = None) -> PathAnnotation:
+    """Build a :class:`PathAnnotation` from spec-file syntax.
+
+    ``label`` is one of ``CR``, ``CW``, ``OR``, ``OW`` (a trailing ``*`` is
+    accepted and means unknown gate); ``subscript`` supplies the gate of an
+    order-sensitive annotation.
+    """
+    text = label.strip()
+    star = text.endswith("*")
+    if star:
+        text = text[:-1]
+    try:
+        kind = AnnotationKind(text.upper())
+    except ValueError:
+        raise AnnotationError(f"unknown component annotation {label!r}") from None
+    if kind in _CONFLUENT:
+        if star or subscript:
+            raise AnnotationError(f"{kind.value} takes neither a star nor a subscript")
+        return PathAnnotation(kind)
+    if star and subscript:
+        raise AnnotationError("a star annotation cannot also carry a subscript")
+    gate: frozenset[str] | _Star
+    if subscript:
+        gate = frozenset(str(a) for a in subscript)
+    else:
+        gate = STAR
+    return PathAnnotation(kind, gate)

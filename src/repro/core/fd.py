@@ -1,0 +1,198 @@
+"""Injective functional dependencies and the ``compatible`` predicate.
+
+Section V-A1 of the paper defines::
+
+    injectivefd(A, B)  -- A functionally determines B via an injective
+                          (distinctness-preserving) function
+    compatible(partition, seal) ==
+        exists attr subseteq partition . injectivefd(seal, attr)
+
+A seal on ``key`` is compatible with an order-sensitive gate when some
+subset of the gate's attributes is injectively determined by the full seal
+key: having seen every value of the key, we have also seen every value of
+that gate subset, so partition-at-a-time evaluation is deterministic.
+
+Detection is sound but incomplete, exactly as in the paper (Section VII-B2):
+the base facts are the identity function (a seal key injectively determines
+itself, and identity projections recorded by attribute lineage) plus any
+injective dependencies declared by the programmer; these are closed under
+transitive composition (a chase over set-level dependencies) and under
+augmentation with functionally-determined attributes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable
+
+from repro.core.annotations import STAR
+
+__all__ = ["FD", "FDSet", "compatible"]
+
+AttrSet = frozenset[str]
+
+
+def _attrs(attrs: Iterable[str] | str) -> AttrSet:
+    if isinstance(attrs, str):
+        return frozenset({attrs})
+    return frozenset(attrs)
+
+
+@dataclasses.dataclass(frozen=True)
+class FD:
+    """A functional dependency ``lhs -> rhs`` with an injectivity flag."""
+
+    lhs: AttrSet
+    rhs: AttrSet
+    injective: bool = True
+
+    def __str__(self) -> str:
+        arrow = "↣" if self.injective else "→"  # ↣ vs →
+        return f"{{{','.join(sorted(self.lhs))}}} {arrow} {{{','.join(sorted(self.rhs))}}}"
+
+
+class FDSet:
+    """A set of (optionally injective) functional dependencies with a chase.
+
+    The chase answers two questions:
+
+    * :meth:`closure` -- the set of attributes functionally determined by a
+      starting attribute set (the classical FD closure);
+    * :meth:`injectively_determines` -- whether a seal key injectively
+      determines a target attribute set, using set-level transitive
+      composition of injective dependencies.
+    """
+
+    def __init__(self, fds: Iterable[FD] = ()) -> None:
+        self._fds: list[FD] = []
+        for fd in fds:
+            self.add(fd.lhs, fd.rhs, injective=fd.injective)
+
+    def __len__(self) -> int:
+        return len(self._fds)
+
+    def __iter__(self):
+        return iter(self._fds)
+
+    def __contains__(self, fd: FD) -> bool:
+        return fd in self._fds
+
+    def add(
+        self,
+        lhs: Iterable[str] | str,
+        rhs: Iterable[str] | str,
+        *,
+        injective: bool = True,
+    ) -> FD:
+        """Declare ``lhs -> rhs``; returns the normalized :class:`FD`."""
+        fd = FD(_attrs(lhs), _attrs(rhs), injective)
+        if not fd.lhs or not fd.rhs:
+            raise ValueError("functional dependencies require non-empty sides")
+        if fd not in self._fds:
+            self._fds.append(fd)
+        return fd
+
+    def add_identity(self, a: str, b: str) -> None:
+        """Record that attribute ``a`` is an identity copy of ``b``.
+
+        Identity is injective in both directions; this is the lineage fact
+        produced by projection without transformation (paper Section
+        VII-B2).
+        """
+        self.add({a}, {b}, injective=True)
+        self.add({b}, {a}, injective=True)
+
+    def merged(self, other: "FDSet") -> "FDSet":
+        """Return a new :class:`FDSet` holding the union of both sets."""
+        out = FDSet(self._fds)
+        for fd in other:
+            out.add(fd.lhs, fd.rhs, injective=fd.injective)
+        return out
+
+    # ------------------------------------------------------------------
+    # chase procedures
+    # ------------------------------------------------------------------
+    def closure(self, start: Iterable[str] | str) -> AttrSet:
+        """Classical FD closure of ``start`` under all dependencies."""
+        known = set(_attrs(start))
+        changed = True
+        while changed:
+            changed = False
+            for fd in self._fds:
+                if fd.lhs <= known and not fd.rhs <= known:
+                    known |= fd.rhs
+                    changed = True
+        return frozenset(known)
+
+    def injective_images(self, key: Iterable[str] | str) -> frozenset[AttrSet]:
+        """All attribute sets injectively determined by the full set ``key``.
+
+        The base image is ``key`` itself (the identity function).  Images
+        are closed under (a) application of a declared injective dependency
+        whose left side equals a known image and (b) augmentation with any
+        functionally-determined attributes, since pairing an injective
+        function with an arbitrary function stays injective.
+        """
+        key_set = _attrs(key)
+        if not key_set:
+            return frozenset()
+        images: set[AttrSet] = {key_set}
+        frontier = [key_set]
+        while frontier:
+            image = frontier.pop()
+            for fd in self._fds:
+                if fd.injective and fd.lhs == image and fd.rhs not in images:
+                    images.add(fd.rhs)
+                    frontier.append(fd.rhs)
+        determined = self.closure(key_set)
+        augmented: set[AttrSet] = set()
+        for image in images:
+            extra = determined - image
+            if extra:
+                augmented.add(image | extra)
+        images |= augmented
+        return frozenset(images)
+
+    def injectively_determines(
+        self, key: Iterable[str] | str, target: Iterable[str] | str
+    ) -> bool:
+        """``injectivefd(key, target)`` -- sound, incomplete detection.
+
+        ``target`` is injectively determined when (a) every attribute of
+        ``target`` is functionally determined by ``key`` and (b) some whole
+        injective image of ``key`` sits inside ``target`` — pairing an
+        injective map with arbitrary determined attributes stays injective,
+        but *projecting away* part of an injective image loses
+        distinctness, so a mere overlap is not enough.
+        """
+        target_set = _attrs(target)
+        if not target_set:
+            return False
+        if not target_set <= self.closure(key):
+            return False
+        return any(image <= target_set for image in self.injective_images(key))
+
+    def __repr__(self) -> str:
+        return f"FDSet({', '.join(str(fd) for fd in self._fds)})"
+
+
+def compatible(gate, key: Iterable[str] | str, fds: FDSet | None = None) -> bool:
+    """Paper Section V-A1: is a seal on ``key`` compatible with ``gate``?
+
+    ``gate`` may be an attribute set or the :data:`~repro.core.annotations.STAR`
+    sentinel of an ``OR*`` / ``OW*`` annotation; the unknown gate is
+    compatible with nothing (the conservative reading).
+    """
+    if gate is STAR or gate is None:
+        return False
+    gate_set = _attrs(gate)
+    key_set = _attrs(key)
+    if not gate_set or not key_set:
+        return False
+    fds = fds if fds is not None else FDSet()
+    for image in fds.injective_images(key_set):
+        candidate = image & gate_set
+        if candidate == image:
+            # the whole injective image sits inside the gate
+            return True
+    return False

@@ -1,0 +1,289 @@
+"""Logical dataflow graphs (paper Section II).
+
+A dataflow is a directed graph of *components* connected by *streams*.
+Components expose named input and output interfaces; every pair of
+interfaces a message can traverse is a *path* carrying one
+:class:`~repro.core.annotations.PathAnnotation`.  Streams associate an
+output interface of one component with an input interface of another; a
+stream whose source is ``None`` is an external ingress (a stream source)
+and a stream whose destination is ``None`` is an external egress (a sink).
+
+The graph is purely logical: multiplicity of physical instances is captured
+by the ``rep`` (replication) annotation, not by duplicating nodes
+(paper Section II distinguishes logical dataflows from physical ones).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable
+
+from repro.core.annotations import PathAnnotation
+from repro.core.labels import Label
+from repro.errors import DataflowError
+
+__all__ = ["Path", "Component", "Stream", "Dataflow"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Path:
+    """An annotated input-to-output path through one component."""
+
+    from_iface: str
+    to_iface: str
+    annotation: PathAnnotation
+
+    def __str__(self) -> str:
+        return f"{self.from_iface} -> {self.to_iface} : {self.annotation}"
+
+
+class Component:
+    """A logical unit of computation and storage in a dataflow.
+
+    ``rep`` marks the component as replicated (the paper's ``Rep``
+    annotation): its instances receive the same input streams and its
+    output streams are replicated streams.
+    """
+
+    def __init__(self, name: str, *, rep: bool = False) -> None:
+        if not name:
+            raise DataflowError("components require a non-empty name")
+        self.name = name
+        self.rep = rep
+        self._paths: list[Path] = []
+
+    @property
+    def paths(self) -> tuple[Path, ...]:
+        """All annotated paths through this component."""
+        return tuple(self._paths)
+
+    def add_path(
+        self, from_iface: str, to_iface: str, annotation: PathAnnotation
+    ) -> Path:
+        """Declare a path ``from_iface -> to_iface`` with its annotation."""
+        for existing in self._paths:
+            if existing.from_iface == from_iface and existing.to_iface == to_iface:
+                raise DataflowError(
+                    f"duplicate path {from_iface} -> {to_iface} on component {self.name}"
+                )
+        path = Path(from_iface, to_iface, annotation)
+        self._paths.append(path)
+        return path
+
+    @property
+    def input_interfaces(self) -> tuple[str, ...]:
+        """Input interface names, in declaration order."""
+        seen: list[str] = []
+        for path in self._paths:
+            if path.from_iface not in seen:
+                seen.append(path.from_iface)
+        return tuple(seen)
+
+    @property
+    def output_interfaces(self) -> tuple[str, ...]:
+        """Output interface names, in declaration order."""
+        seen: list[str] = []
+        for path in self._paths:
+            if path.to_iface not in seen:
+                seen.append(path.to_iface)
+        return tuple(seen)
+
+    def paths_into(self, out_iface: str) -> tuple[Path, ...]:
+        """All paths that terminate at ``out_iface``."""
+        return tuple(p for p in self._paths if p.to_iface == out_iface)
+
+    def paths_from(self, in_iface: str) -> tuple[Path, ...]:
+        """All paths that originate at ``in_iface``."""
+        return tuple(p for p in self._paths if p.from_iface == in_iface)
+
+    def __repr__(self) -> str:
+        rep = ", rep" if self.rep else ""
+        return f"Component({self.name}{rep}, paths={len(self._paths)})"
+
+
+@dataclasses.dataclass
+class Stream:
+    """A named stream connecting interfaces (or the outside world).
+
+    ``src`` / ``dst`` are ``(component_name, interface_name)`` pairs or
+    ``None`` for external endpoints.  ``seal_key`` records a ``Seal[key]``
+    stream annotation; ``rep`` a ``Rep`` annotation; ``label`` optionally
+    overrides the default ``Async`` label of an *external* input stream.
+    """
+
+    name: str
+    src: tuple[str, str] | None
+    dst: tuple[str, str] | None
+    seal_key: frozenset[str] | None = None
+    rep: bool = False
+    label: Label | None = None
+
+    @property
+    def is_external_input(self) -> bool:
+        """True when the stream enters the dataflow from outside."""
+        return self.src is None
+
+    @property
+    def is_external_output(self) -> bool:
+        """True when the stream leaves the dataflow (a sink)."""
+        return self.dst is None
+
+    def __str__(self) -> str:
+        src = "~" if self.src is None else f"{self.src[0]}.{self.src[1]}"
+        dst = "~" if self.dst is None else f"{self.dst[0]}.{self.dst[1]}"
+        extras = []
+        if self.seal_key:
+            extras.append(f"Seal[{','.join(sorted(self.seal_key))}]")
+        if self.rep:
+            extras.append("Rep")
+        suffix = f" ({', '.join(extras)})" if extras else ""
+        return f"{self.name}: {src} -> {dst}{suffix}"
+
+
+class Dataflow:
+    """A named logical dataflow: components plus the streams wiring them."""
+
+    def __init__(self, name: str = "dataflow") -> None:
+        self.name = name
+        self._components: dict[str, Component] = {}
+        self._streams: dict[str, Stream] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_component(self, name: str, *, rep: bool = False) -> Component:
+        """Create and register a new component."""
+        if name in self._components:
+            raise DataflowError(f"duplicate component {name!r}")
+        component = Component(name, rep=rep)
+        self._components[name] = component
+        return component
+
+    def add_stream(
+        self,
+        name: str,
+        *,
+        src: tuple[str, str] | None = None,
+        dst: tuple[str, str] | None = None,
+        seal: Iterable[str] | None = None,
+        rep: bool = False,
+        label: Label | None = None,
+    ) -> Stream:
+        """Create and register a stream.
+
+        ``src=None`` declares an external input; ``dst=None`` a sink.
+        ``seal`` attaches a ``Seal[key]`` annotation and ``rep`` a ``Rep``
+        annotation.
+        """
+        if name in self._streams:
+            raise DataflowError(f"duplicate stream {name!r}")
+        if src is None and dst is None:
+            raise DataflowError(f"stream {name!r} must touch at least one component")
+        seal_key = None
+        if seal is not None:
+            seal_key = frozenset(seal)
+            if not seal_key:
+                raise DataflowError(f"stream {name!r}: a seal key must be non-empty")
+        stream = Stream(name, src, dst, seal_key=seal_key, rep=rep, label=label)
+        self._streams[name] = stream
+        return stream
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    @property
+    def components(self) -> tuple[Component, ...]:
+        return tuple(self._components.values())
+
+    @property
+    def streams(self) -> tuple[Stream, ...]:
+        return tuple(self._streams.values())
+
+    def component(self, name: str) -> Component:
+        """Look up a component by name."""
+        try:
+            return self._components[name]
+        except KeyError:
+            raise DataflowError(f"unknown component {name!r}") from None
+
+    def stream(self, name: str) -> Stream:
+        """Look up a stream by name."""
+        try:
+            return self._streams[name]
+        except KeyError:
+            raise DataflowError(f"unknown stream {name!r}") from None
+
+    def streams_into(self, component: str, in_iface: str | None = None) -> tuple[Stream, ...]:
+        """Streams whose destination is ``component`` (and optionally iface)."""
+        return tuple(
+            s
+            for s in self._streams.values()
+            if s.dst is not None
+            and s.dst[0] == component
+            and (in_iface is None or s.dst[1] == in_iface)
+        )
+
+    def streams_from(self, component: str, out_iface: str | None = None) -> tuple[Stream, ...]:
+        """Streams whose source is ``component`` (and optionally iface)."""
+        return tuple(
+            s
+            for s in self._streams.values()
+            if s.src is not None
+            and s.src[0] == component
+            and (out_iface is None or s.src[1] == out_iface)
+        )
+
+    @property
+    def external_inputs(self) -> tuple[Stream, ...]:
+        """Streams that enter the dataflow from outside."""
+        return tuple(s for s in self._streams.values() if s.is_external_input)
+
+    @property
+    def external_outputs(self) -> tuple[Stream, ...]:
+        """Streams that leave the dataflow (sinks)."""
+        return tuple(s for s in self._streams.values() if s.is_external_output)
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`DataflowError` on structural problems.
+
+        Checks that every stream endpoint names a declared component and an
+        interface the component actually exposes, that every component has
+        at least one path, and that every input interface is fed by at
+        least one stream (otherwise the analysis could not label it).
+        """
+        for component in self._components.values():
+            if not component.paths:
+                raise DataflowError(f"component {component.name!r} declares no paths")
+        for stream in self._streams.values():
+            if stream.src is not None:
+                comp_name, iface = stream.src
+                component = self.component(comp_name)
+                if iface not in component.output_interfaces:
+                    raise DataflowError(
+                        f"stream {stream.name!r}: {comp_name!r} has no output "
+                        f"interface {iface!r}"
+                    )
+            if stream.dst is not None:
+                comp_name, iface = stream.dst
+                component = self.component(comp_name)
+                if iface not in component.input_interfaces:
+                    raise DataflowError(
+                        f"stream {stream.name!r}: {comp_name!r} has no input "
+                        f"interface {iface!r}"
+                    )
+        for component in self._components.values():
+            for in_iface in component.input_interfaces:
+                if not self.streams_into(component.name, in_iface):
+                    raise DataflowError(
+                        f"input interface {component.name}.{in_iface} is not fed "
+                        f"by any stream"
+                    )
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataflow({self.name!r}, components={len(self._components)}, "
+            f"streams={len(self._streams)})"
+        )

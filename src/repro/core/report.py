@@ -1,0 +1,78 @@
+"""Human-readable analysis reports.
+
+:func:`render_report` combines stream labels, anomaly classes, per-output
+derivations, and the synthesized coordination plan into the text report the
+``blazes analyze`` CLI prints.
+"""
+
+from __future__ import annotations
+
+from repro.core.analysis import AnalysisResult
+from repro.core.derivation import render_output
+from repro.core.labels import LabelKind
+from repro.core.strategy import CoordinationPlan, choose_strategies
+
+__all__ = ["render_report"]
+
+_ANOMALY_GLOSS = {
+    LabelKind.ASYNC: "deterministic contents; nondeterministic order",
+    LabelKind.SEAL: "punctuated stream; deterministic batches",
+    LabelKind.RUN: "cross-run nondeterminism: replay-based fault tolerance unsafe",
+    LabelKind.INST: "cross-instance nondeterminism: replicas may disagree transiently",
+    LabelKind.DIVERGE: "replica divergence: replicated state permanently inconsistent",
+}
+
+
+def render_report(
+    result: AnalysisResult,
+    plan: CoordinationPlan | None = None,
+    *,
+    derivations: bool = False,
+) -> str:
+    """Render a complete text report for one analysis."""
+    plan = plan if plan is not None else choose_strategies(result)
+    lines: list[str] = []
+    push = lines.append
+
+    push(f"Blazes analysis: {result.dataflow.name}")
+    push("=" * (17 + len(result.dataflow.name)))
+    push("")
+    push("Stream labels")
+    push("-------------")
+    width = max((len(s.name) for s in result.dataflow.streams), default=4)
+    for stream in result.dataflow.streams:
+        label = result.stream_labels[stream.name]
+        gloss = _ANOMALY_GLOSS.get(label.kind, "")
+        rep = " [Rep]" if result.stream_rep.get(stream.name) else ""
+        push(f"  {stream.name:<{width}}  {str(label):<14}{rep}  {gloss}")
+    push("")
+
+    if result.cycles:
+        push("Collapsed cycles")
+        push("----------------")
+        for members in result.cycles:
+            push(f"  {{{', '.join(sorted(members))}}}")
+        push("")
+
+    push(f"Verdict: worst sink severity {result.severity} "
+         f"({'consistent without coordination' if result.is_consistent else 'coordination required'})")
+    needing = result.components_needing_coordination()
+    if needing:
+        push(f"Components needing coordination: {', '.join(needing)}")
+    push("")
+
+    push("Coordination plan")
+    push("-----------------")
+    for line in plan.describe().splitlines():
+        push(f"  {line}")
+
+    if derivations:
+        push("")
+        push("Derivations")
+        push("-----------")
+        for record in result.outputs.values():
+            push("")
+            for line in render_output(record).splitlines():
+                push(f"  {line}")
+
+    return "\n".join(lines)

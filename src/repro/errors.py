@@ -1,0 +1,48 @@
+"""Exception hierarchy for the Blazes reproduction.
+
+Every error raised by this library derives from :class:`BlazesError`, so
+callers can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class BlazesError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SpecError(BlazesError):
+    """A Blazes specification file is malformed or inconsistent."""
+
+
+class DataflowError(BlazesError):
+    """A dataflow graph is structurally invalid (dangling streams, unknown
+    interfaces, duplicate names, and so on)."""
+
+
+class AnnotationError(BlazesError):
+    """A component or stream annotation cannot be parsed or is not
+    applicable (for example a subscript on a confluent annotation)."""
+
+
+class AnalysisError(BlazesError):
+    """The label-derivation procedure failed; usually indicates a dataflow
+    that was not validated before analysis."""
+
+
+class SynthesisError(BlazesError):
+    """No coordination strategy can be synthesized for a component that
+    requires one."""
+
+
+class SimulationError(BlazesError):
+    """The discrete-event simulator was driven into an invalid state."""
+
+
+class BloomError(BlazesError):
+    """A Bloom program is malformed (unknown collection, arity mismatch,
+    illegal merge operator, and so on)."""
+
+
+class StormError(BlazesError):
+    """A Storm topology is malformed or was executed incorrectly."""

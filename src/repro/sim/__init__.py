@@ -1,0 +1,26 @@
+"""Deterministic discrete-event cluster simulator.
+
+This package stands in for the paper's EC2 testbed (see DESIGN.md section
+3): it provides a seeded event kernel, an asynchronous unordered network
+with configurable latency/loss/duplication, execution traces, and fault
+injection.  All higher substrates (:mod:`repro.coord`, :mod:`repro.storm`,
+:mod:`repro.bloom`) run on top of it.
+"""
+
+from repro.sim.events import EventHandle, Simulator
+from repro.sim.failure import FailureInjector
+from repro.sim.network import LatencyModel, Message, Network, Process
+from repro.sim.trace import Trace, TraceRecord, merge_traces
+
+__all__ = [
+    "EventHandle",
+    "Simulator",
+    "FailureInjector",
+    "LatencyModel",
+    "Message",
+    "Network",
+    "Process",
+    "Trace",
+    "TraceRecord",
+    "merge_traces",
+]

@@ -1,0 +1,61 @@
+"""Fault injection for simulated runs.
+
+Two fault classes matter for the paper's anomaly taxonomy:
+
+* **crash / recover** — a crashed process silently drops deliveries, which
+  exercises replay-based fault tolerance (Storm) and replication (Bloom);
+* **message-loss windows** — transient elevated loss, which exercises
+  at-least-once redelivery.
+"""
+
+from __future__ import annotations
+
+from repro.sim.network import Network, Process
+
+__all__ = ["FailureInjector"]
+
+
+class FailureInjector:
+    """Schedules crashes, recoveries, and loss windows on a network."""
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self.crashes: list[tuple[float, str]] = []
+        self.recoveries: list[tuple[float, str]] = []
+
+    def crash(self, process_name: str, at: float) -> None:
+        """Crash ``process_name`` at virtual time ``at``."""
+        process = self.network.process(process_name)
+        self.network.sim.schedule_at(at, lambda: self._do_crash(process))
+
+    def recover(self, process_name: str, at: float) -> None:
+        """Recover ``process_name`` at virtual time ``at``."""
+        process = self.network.process(process_name)
+        self.network.sim.schedule_at(at, lambda: self._do_recover(process))
+
+    def crash_for(self, process_name: str, at: float, duration: float) -> None:
+        """Crash then recover after ``duration``."""
+        self.crash(process_name, at)
+        self.recover(process_name, at + duration)
+
+    def loss_window(self, at: float, duration: float, drop_prob: float) -> None:
+        """Raise the network drop probability to ``drop_prob`` temporarily."""
+        network = self.network
+
+        def begin() -> None:
+            previous = network.drop_prob
+            network.drop_prob = drop_prob
+            network.sim.schedule(duration, lambda: _restore(previous))
+
+        def _restore(previous: float) -> None:
+            network.drop_prob = previous
+
+        network.sim.schedule_at(at, begin)
+
+    def _do_crash(self, process: Process) -> None:
+        process.crashed = True
+        self.crashes.append((self.network.sim.now, process.name))
+
+    def _do_recover(self, process: Process) -> None:
+        process.crashed = False
+        self.recoveries.append((self.network.sim.now, process.name))

@@ -1,0 +1,182 @@
+"""A simulated message-passing network with nondeterministic delivery.
+
+The network models the paper's system assumptions (Section II): channels
+are asynchronous and unordered, and at-least-once delivery is available as
+an option (duplication), as is loss (for exercising replay-based fault
+tolerance).  Per-message latency is ``base + Exp(jitter)``, so two messages
+sent back-to-back may arrive in either order — exactly the nondeterminism
+Blazes reasons about.  Everything is driven by the simulator's seeded RNG,
+so one seed yields one delivery order and different seeds explore different
+interleavings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Iterable
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.sim.events import Simulator
+
+__all__ = ["Message", "LatencyModel", "Process", "Network"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Message:
+    """One message in flight: opaque payload plus addressing metadata."""
+
+    src: str
+    dst: str
+    kind: str
+    payload: Any
+    sent_at: float
+    uid: int
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyModel:
+    """Latency distribution for one network: ``base + Exp(mean jitter)``."""
+
+    base: float = 0.001
+    jitter: float = 0.002
+
+    def sample(self, rng) -> float:
+        if self.jitter <= 0:
+            return self.base
+        return self.base + rng.expovariate(1.0 / self.jitter)
+
+
+class Process:
+    """A simulated node: subclass and override :meth:`recv`.
+
+    Processes are registered with a :class:`Network`, which routes messages
+    by name.  ``self.send`` is the only way out; the simulator clock is
+    reachable as ``self.now``.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.network: "Network | None" = None
+        self.crashed = False
+
+    # wired by Network.register
+    @property
+    def sim(self) -> Simulator:
+        assert self.network is not None, f"{self.name} is not registered"
+        return self.network.sim
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def send(self, dst: str, kind: str, payload: Any) -> None:
+        """Send a message over the network (asynchronous, unordered)."""
+        assert self.network is not None, f"{self.name} is not registered"
+        self.network.send(self.name, dst, kind, payload)
+
+    def after(self, delay: float, action: Callable[[], None]):
+        """Schedule a local timer."""
+        return self.sim.schedule(delay, action)
+
+    def recv(self, msg: Message) -> None:  # pragma: no cover - interface
+        """Handle one delivered message."""
+        raise NotImplementedError
+
+    def on_start(self) -> None:
+        """Hook called when the network starts; default does nothing."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class Network:
+    """Routes messages between registered processes with simulated latency.
+
+    ``drop_prob`` and ``dup_prob`` inject loss and duplication;
+    ``on_deliver`` observers (used by traces and tests) see every delivered
+    message.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        latency: LatencyModel | None = None,
+        drop_prob: float = 0.0,
+        dup_prob: float = 0.0,
+        reliable_kinds: Iterable[str] = (),
+    ) -> None:
+        self.sim = sim
+        self.latency = latency or LatencyModel()
+        self.drop_prob = drop_prob
+        self.dup_prob = dup_prob
+        self.reliable_kinds = frozenset(reliable_kinds)
+        self._processes: dict[str, Process] = {}
+        self._uid = 0
+        self._observers: list[Callable[[Message], None]] = []
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.duplicated = 0
+
+    def register(self, process: Process) -> Process:
+        """Attach a process to this network; names must be unique."""
+        if process.name in self._processes:
+            raise SimulationError(f"duplicate process name {process.name!r}")
+        process.network = self
+        self._processes[process.name] = process
+        return process
+
+    def process(self, name: str) -> Process:
+        try:
+            return self._processes[name]
+        except KeyError:
+            raise SimulationError(f"unknown process {name!r}") from None
+
+    @property
+    def processes(self) -> tuple[Process, ...]:
+        return tuple(self._processes.values())
+
+    def observe(self, callback: Callable[[Message], None]) -> None:
+        """Register a delivery observer (tracing, assertions)."""
+        self._observers.append(callback)
+
+    def start(self) -> None:
+        """Invoke every process's ``on_start`` hook."""
+        for process in self._processes.values():
+            process.on_start()
+
+    def send(self, src: str, dst: str, kind: str, payload: Any) -> None:
+        """Route one message; may drop, duplicate, and reorder.
+
+        Kinds listed in ``reliable_kinds`` are exempt from loss and
+        duplication — they stand for TCP-backed control-plane channels
+        (e.g. Zookeeper sessions), which retry transparently.
+        """
+        if dst not in self._processes:
+            raise SimulationError(f"message to unknown process {dst!r}")
+        self.sent += 1
+        copies = 1
+        reliable = kind in self.reliable_kinds
+        if not reliable and self.drop_prob > 0 and self.sim.rng.random() < self.drop_prob:
+            self.dropped += 1
+            copies = 0
+        elif not reliable and self.dup_prob > 0 and self.sim.rng.random() < self.dup_prob:
+            self.duplicated += 1
+            copies = 2
+        for _ in range(copies):
+            self._uid += 1
+            msg = Message(src, dst, kind, payload, self.sim.now, self._uid)
+            delay = self.latency.sample(self.sim.rng)
+            self.sim.schedule(delay, lambda m=msg: self._deliver(m))
+
+    def _deliver(self, msg: Message) -> None:
+        process = self._processes.get(msg.dst)
+        if process is None or process.crashed:
+            self.dropped += 1
+            return
+        self.delivered += 1
+        for observer in self._observers:
+            observer(msg)
+        process.recv(msg)

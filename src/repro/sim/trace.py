@@ -1,0 +1,109 @@
+"""Execution traces for simulated runs.
+
+A :class:`Trace` is an append-only log of ``(time, source, event, data)``
+records.  Benchmarks use traces to build the "records processed over time"
+series of the paper's Figures 12-14; tests use them to assert on delivery
+and processing orders.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Iterable
+from typing import Any
+
+__all__ = ["TraceRecord", "Trace"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped trace entry."""
+
+    time: float
+    source: str
+    event: str
+    data: Any = None
+
+
+class Trace:
+    """An append-only, queryable event log."""
+
+    def __init__(self) -> None:
+        self._records: list[TraceRecord] = []
+
+    def record(self, time: float, source: str, event: str, data: Any = None) -> None:
+        """Append one record (times must be supplied by the simulator)."""
+        self._records.append(TraceRecord(time, source, event, data))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def select(
+        self,
+        *,
+        event: str | None = None,
+        source: str | None = None,
+        predicate: Callable[[TraceRecord], bool] | None = None,
+    ) -> list[TraceRecord]:
+        """Filter records by event name, source, and/or predicate."""
+        out = []
+        for record in self._records:
+            if event is not None and record.event != event:
+                continue
+            if source is not None and record.source != source:
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            out.append(record)
+        return out
+
+    def count(self, event: str) -> int:
+        """Number of records with the given event name."""
+        return sum(1 for r in self._records if r.event == event)
+
+    def timeline(self, event: str, *, bucket: float = 1.0) -> list[tuple[float, int]]:
+        """Cumulative count of ``event`` over time, sampled per bucket.
+
+        Returns ``(bucket_end_time, cumulative_count)`` pairs — the series
+        plotted in the paper's Figures 12-14.
+        """
+        times = sorted(r.time for r in self._records if r.event == event)
+        if not times:
+            return []
+        series: list[tuple[float, int]] = []
+        horizon = times[-1]
+        edge = bucket
+        count = 0
+        index = 0
+        while edge < horizon + bucket:
+            while index < len(times) and times[index] <= edge:
+                count += 1
+                index += 1
+            series.append((edge, count))
+            edge += bucket
+        return series
+
+    def first(self, event: str) -> TraceRecord | None:
+        """Earliest record with the given event name, if any."""
+        candidates = self.select(event=event)
+        return min(candidates, key=lambda r: r.time) if candidates else None
+
+    def last(self, event: str) -> TraceRecord | None:
+        """Latest record with the given event name, if any."""
+        candidates = self.select(event=event)
+        return max(candidates, key=lambda r: r.time) if candidates else None
+
+
+def merge_traces(traces: Iterable[Trace]) -> Trace:
+    """Merge several traces into one, ordered by time."""
+    merged = Trace()
+    records = sorted(
+        (record for trace in traces for record in trace),
+        key=lambda r: r.time,
+    )
+    for record in records:
+        merged.record(record.time, record.source, record.event, record.data)
+    return merged

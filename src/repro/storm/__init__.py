@@ -1,0 +1,40 @@
+"""A Storm-like stream processing engine on the simulator.
+
+Implements the substrate of the paper's first case study: spouts, bolts,
+groupings, numbered batches with punctuations, at-least-once replay, and
+transactional (globally ordered) batch commits.  The adapter extracts the
+grey-box dataflow for analysis by :mod:`repro.core`.
+"""
+
+from repro.storm.adapter import topology_to_dataflow
+from repro.storm.executor import ClusterConfig, StormCluster, stable_hash
+from repro.storm.metrics import RunMetrics, collect_metrics
+from repro.storm.topology import (
+    Bolt,
+    BoltDeclarer,
+    Grouping,
+    Spout,
+    Topology,
+    TopologyBuilder,
+)
+from repro.storm.transactional import CommitCoordinator, install_transactional
+from repro.storm.tuples import Fields, StormTuple
+
+__all__ = [
+    "topology_to_dataflow",
+    "ClusterConfig",
+    "StormCluster",
+    "stable_hash",
+    "RunMetrics",
+    "collect_metrics",
+    "Bolt",
+    "BoltDeclarer",
+    "Grouping",
+    "Spout",
+    "Topology",
+    "TopologyBuilder",
+    "CommitCoordinator",
+    "install_transactional",
+    "Fields",
+    "StormTuple",
+]

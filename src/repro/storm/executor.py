@@ -1,0 +1,536 @@
+"""Executes a topology on the discrete-event simulator.
+
+Each spout/bolt task is a simulated process with a single-server service
+queue (per-item execution time), so contention and pipeline imbalance show
+up in virtual time exactly as they would on a cluster.  The engine provides
+the Storm guarantees the paper's evaluation relies on:
+
+* **channel FIFO** — tuples between a task pair are sequence-numbered and
+  reassembled in order, so batch punctuations cannot overtake data;
+* **batch tracking** — a task finishes batch ``b`` when every upstream task
+  has punctuated ``b``; it then forwards its own punctuation downstream;
+* **at-least-once replay** — a spout re-emits a batch (as a new *attempt*)
+  if the terminal bolt's tasks do not all acknowledge it in time; bolts are
+  told to reset per-batch state when a new attempt supersedes an old one;
+* **transactional commits** (:mod:`repro.storm.transactional`) — when
+  enabled, the terminal bolt's ``finish_batch`` is deferred until the
+  commit coordinator grants the batch in a global serial order, which is
+  Storm's "transactional topology" semantics.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import deque
+from typing import Any
+
+from repro.coord.ordering import OrderedInbox
+from repro.errors import StormError
+from repro.sim.network import LatencyModel, Message, Network, Process
+from repro.sim.events import Simulator
+from repro.sim.trace import Trace
+from repro.storm.topology import Grouping, Topology
+from repro.storm.tuples import StormTuple
+
+__all__ = ["StormCluster", "ClusterConfig"]
+
+CHAN = "st.chan"
+ACK = "st.ack"
+
+
+def stable_hash(value: Any) -> int:
+    """A deterministic cross-run hash (``hash()`` is salted per process)."""
+    return zlib.crc32(repr(value).encode("utf-8"))
+
+
+class _Router:
+    """Routes emitted tuples from one task to downstream tasks."""
+
+    def __init__(self, task: "_TaskBase", cluster: "StormCluster", component: str):
+        self.task = task
+        self.cluster = cluster
+        self.targets: list[tuple[Grouping, list[str], Any]] = []
+        for consumer, grouping in cluster.topology.consumers_of(component):
+            task_names = cluster.task_names(consumer)
+            fields = cluster.topology.declaration(component).factory().output_fields
+            self.targets.append((grouping, task_names, fields))
+        self._shuffle_counters = [0] * len(self.targets)
+
+    def route(self, batch: int, attempt: int, values: tuple) -> None:
+        for index, (grouping, task_names, fields) in enumerate(self.targets):
+            if grouping.mode == "shuffle":
+                position = self._shuffle_counters[index] % len(task_names)
+                self._shuffle_counters[index] += 1
+            elif grouping.mode == "fields":
+                key = fields.project(values, grouping.fields)
+                position = stable_hash(key) % len(task_names)
+            else:  # global
+                position = 0
+            self.task.send_chan(
+                task_names[position], batch, attempt, ("tuple", values)
+            )
+
+    def broadcast_punct(self, batch: int, attempt: int) -> None:
+        for _grouping, task_names, _fields in self.targets:
+            for name in task_names:
+                self.task.send_chan(name, batch, attempt, ("punct",))
+
+    @property
+    def has_consumers(self) -> bool:
+        return bool(self.targets)
+
+
+class _TaskBase(Process):
+    """Shared channel machinery.
+
+    Channels are sequenced per ``(destination, batch, attempt)`` and
+    reassembled per ``(source, batch, attempt)``.  FIFO only matters
+    *within* a batch — a punctuation must not overtake the data records it
+    covers — so scoping the sequence space to one batch attempt means a
+    message lost to the network stalls only that attempt, and the spout's
+    replay (a fresh attempt, hence fresh channels) recovers it.
+    """
+
+    def __init__(self, name: str, cluster: "StormCluster") -> None:
+        super().__init__(name)
+        self.cluster = cluster
+        self._chan_seq: dict[tuple[str, int, int], int] = {}
+        self._inboxes: dict[tuple[str, int, int], OrderedInbox] = {}
+
+    def send_chan(self, dst: str, batch: int, attempt: int, item: tuple) -> None:
+        key = (dst, batch, attempt)
+        seq = self._chan_seq.get(key, 0)
+        self._chan_seq[key] = seq + 1
+        self.send(dst, CHAN, (self.name, batch, attempt, seq, item))
+
+    def handle_chan(self, msg: Message) -> None:
+        src, batch, attempt, seq, item = msg.payload
+        key = (src, batch, attempt)
+        inbox = self._inboxes.get(key)
+        if inbox is None:
+            inbox = OrderedInbox(
+                lambda it, s=src, b=batch, a=attempt: self.on_item(s, b, a, it)
+            )
+            self._inboxes[key] = inbox
+        inbox.offer(seq, item)
+
+    def drop_stale_inboxes(self, batch: int, before_attempt: int) -> None:
+        """Discard reorder buffers of superseded attempts of a batch."""
+        stale = [
+            key
+            for key in self._inboxes
+            if key[1] == batch and key[2] < before_attempt
+        ]
+        for key in stale:
+            del self._inboxes[key]
+
+    def on_item(self, src: str, batch: int, attempt: int, item: tuple) -> None:
+        raise NotImplementedError  # pragma: no cover
+
+
+class _SpoutTask(_TaskBase):
+    """Drives one spout instance: emits batches, tracks acks, replays."""
+
+    def __init__(self, name: str, cluster: "StormCluster", component: str, index: int):
+        super().__init__(name, cluster)
+        self.component = component
+        self.index = index
+        self.spout = cluster.topology.declaration(component).factory()
+        self.router = _Router(self, cluster, component)
+        self.exhausted = False
+        self.next_local = 0
+        self.pending: dict[int, set[str]] = {}  # batch -> ackers outstanding
+        self.attempts: dict[int, int] = {}
+        self.batch_cache: dict[int, list[tuple]] = {}
+        self.replay_timers: dict[int, Any] = {}
+        self.replays = 0
+        self.emitted_batches = 0
+
+    def on_start(self) -> None:
+        self._fill_pipeline()
+
+    def _fill_pipeline(self) -> None:
+        config = self.cluster.config
+        while not self.exhausted and len(self.pending) < config.max_pending:
+            batch = self._allocate_batch_id()
+            contents = self.spout.next_batch(batch)
+            if contents is None:
+                self.exhausted = True
+                self.cluster.note_spout_exhausted()
+                break
+            self.batch_cache[batch] = contents
+            self.attempts[batch] = 0
+            self.pending[batch] = set(self.cluster.acker_tasks)
+            self._emit_batch(batch)
+
+    def _allocate_batch_id(self) -> int:
+        width = len(self.cluster.task_names(self.component))
+        batch = self.next_local * width + self.index
+        self.next_local += 1
+        return batch
+
+    def _emit_batch(self, batch: int) -> None:
+        config = self.cluster.config
+        contents = self.batch_cache[batch]
+        attempt = self.attempts[batch]
+        emit_cost = config.emit_time * max(1, len(contents))
+
+        def do_emit() -> None:
+            for values in contents:
+                self.router.route(batch, attempt, values)
+            self.router.broadcast_punct(batch, attempt)
+            self.emitted_batches += 1
+            self.cluster.trace.record(self.now, self.name, "batch_emitted", batch)
+            if config.replay_timeout is not None:
+                self.replay_timers[batch] = self.after(
+                    config.replay_timeout, lambda: self._replay(batch)
+                )
+
+        self.after(emit_cost, do_emit)
+
+    def _replay(self, batch: int) -> None:
+        if batch not in self.pending:
+            return
+        self.replays += 1
+        self.attempts[batch] += 1
+        self.pending[batch] = set(self.cluster.acker_tasks)
+        self.cluster.trace.record(self.now, self.name, "batch_replayed", batch)
+        self._emit_batch(batch)
+
+    def recv(self, msg: Message) -> None:
+        if msg.kind == CHAN:
+            self.handle_chan(msg)
+        elif msg.kind == ACK:
+            self._on_ack(msg.payload, msg.src)
+        else:
+            raise StormError(f"spout task got unexpected message {msg.kind}")
+
+    def _on_ack(self, batch: int, acker: str) -> None:
+        outstanding = self.pending.get(batch)
+        if outstanding is None:
+            return
+        outstanding.discard(acker)
+        if outstanding:
+            return
+        del self.pending[batch]
+        timer = self.replay_timers.pop(batch, None)
+        if timer is not None:
+            timer.cancel()
+        self.batch_cache.pop(batch, None)
+        self.cluster.note_batch_acked(batch, self.now)
+        self._fill_pipeline()
+
+    def on_item(self, src, batch, attempt, item):  # pragma: no cover
+        raise StormError("spout tasks consume no channels")
+
+
+class _BoltTask(_TaskBase):
+    """Executes one bolt instance with a single-server service queue."""
+
+    def __init__(self, name: str, cluster: "StormCluster", component: str, index: int):
+        super().__init__(name, cluster)
+        self.component = component
+        self.index = index
+        self.bolt = cluster.topology.declaration(component).factory()
+        self.router = _Router(self, cluster, component)
+        self.exec_time = cluster.config.exec_times.get(
+            component, cluster.config.default_exec_time
+        )
+        self.upstream_tasks = cluster.upstream_tasks_of(component)
+        self.is_terminal = not self.router.has_consumers
+        self.transactional = (
+            cluster.config.transactional and self.is_terminal
+        )
+        self._queue: deque[tuple[str, tuple]] = deque()
+        self._busy = False
+        self._puncts: dict[tuple[int, int], set[str]] = {}
+        self._batch_attempt: dict[int, int] = {}
+        self._finished: set[int] = set()
+        self.processed_tuples = 0
+        self.bolt.prepare(self)
+
+    # ------------------------------------------------------------------
+    # channel input -> service queue
+    # ------------------------------------------------------------------
+    def recv(self, msg: Message) -> None:
+        if msg.kind == CHAN:
+            self.handle_chan(msg)
+        elif self.transactional and self.cluster.transactional_hook(self, msg):
+            return
+        else:
+            if msg.kind != CHAN:
+                raise StormError(
+                    f"bolt task {self.name} got unexpected message {msg.kind}"
+                )
+
+    def on_item(self, src: str, batch: int, attempt: int, item: tuple) -> None:
+        self._queue.append((src, batch, attempt, item))
+        self._pump()
+
+    def _pump(self) -> None:
+        if self._busy or not self._queue:
+            return
+        self._busy = True
+        src, batch, attempt, item = self._queue.popleft()
+        # punctuations are control messages: near-free to process
+        cost = self.exec_time if item[0] == "tuple" else self.cluster.config.punct_time
+        self.after(cost, lambda: self._service(src, batch, attempt, item))
+
+    def _service(self, src: str, batch: int, attempt: int, item: tuple) -> None:
+        kind = item[0]
+        self._ensure_attempt(batch, attempt)
+        if attempt == self._batch_attempt.get(batch, 0):
+            if kind == "tuple":
+                values = item[1]
+                self.processed_tuples += 1
+                tup = StormTuple(values, batch)
+                self.bolt.execute(
+                    tup, lambda out, b=batch, a=attempt: self.router.route(b, a, out)
+                )
+            elif kind == "punct":
+                self._on_punct(src, batch, attempt)
+            else:  # pragma: no cover - defensive
+                raise StormError(f"unknown channel item {kind!r}")
+        self._busy = False
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # replay attempts
+    # ------------------------------------------------------------------
+    def _ensure_attempt(self, batch: int, attempt: int) -> None:
+        current = self._batch_attempt.get(batch)
+        if current is None:
+            self._batch_attempt[batch] = attempt
+        elif attempt > current:
+            # A replay superseded the old attempt: reset per-batch state.
+            self._batch_attempt[batch] = attempt
+            self._puncts.pop((batch, current), None)
+            self._finished.discard(batch)
+            self.drop_stale_inboxes(batch, attempt)
+            self._queue = deque(
+                entry for entry in self._queue if not (entry[1] == batch and entry[2] < attempt)
+            )
+            reset = getattr(self.bolt, "reset_batch", None)
+            if reset is not None:
+                reset(batch)
+
+    # ------------------------------------------------------------------
+    # batch completion
+    # ------------------------------------------------------------------
+    def _on_punct(self, src: str, batch: int, attempt: int) -> None:
+        seen = self._puncts.setdefault((batch, attempt), set())
+        seen.add(src)
+        expected = self.cluster.expected_punct_tasks(self.component, batch)
+        if not expected <= seen:
+            return
+        self._puncts.pop((batch, attempt), None)
+        if batch in self._finished:
+            return
+        self._finished.add(batch)
+        if self.transactional:
+            self.cluster.coordinator_ready(self, batch)
+        else:
+            self.complete_batch(batch, attempt)
+
+    def complete_batch(self, batch: int, attempt: int | None = None) -> None:
+        """Run ``finish_batch``, forward punctuation, and acknowledge."""
+        if attempt is None:
+            attempt = self._batch_attempt.get(batch, 0)
+        emitted: list[tuple] = []
+        self.bolt.finish_batch(batch, emitted.append)
+        for values in emitted:
+            self.router.route(batch, attempt, values)
+        self.router.broadcast_punct(batch, attempt)
+        self.cluster.trace.record(
+            self.now, self.name, "batch_finished", (self.component, batch, len(emitted))
+        )
+        if self.is_terminal:
+            owner = self.cluster.batch_owner(batch)
+            self.send(owner, ACK, batch)
+            self.cluster.trace.record(self.now, self.name, "batch_acked", batch)
+
+
+class ClusterConfig:
+    """Tunable parameters for one cluster run.
+
+    ``exec_times`` maps component name to per-item service time;
+    ``transactional`` defers the terminal bolt's batch completion to the
+    commit coordinator (see :mod:`repro.storm.transactional`).
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        latency: LatencyModel | None = None,
+        drop_prob: float = 0.0,
+        dup_prob: float = 0.0,
+        default_exec_time: float = 0.0002,
+        exec_times: dict[str, float] | None = None,
+        punct_time: float = 0.00001,
+        emit_time: float = 0.00005,
+        max_pending: int = 4,
+        replay_timeout: float | None = None,
+        transactional: bool = False,
+        commit_time: float = 0.001,
+        zk_write_service: float = 0.004,
+    ) -> None:
+        self.seed = seed
+        self.latency = latency or LatencyModel(base=0.0005, jitter=0.001)
+        self.drop_prob = drop_prob
+        self.dup_prob = dup_prob
+        self.default_exec_time = default_exec_time
+        self.exec_times = exec_times or {}
+        self.punct_time = punct_time
+        self.emit_time = emit_time
+        self.max_pending = max_pending
+        self.replay_timeout = replay_timeout
+        self.transactional = transactional
+        self.commit_time = commit_time
+        self.zk_write_service = zk_write_service
+
+
+class StormCluster:
+    """A topology deployed on the simulator."""
+
+    def __init__(self, topology: Topology, config: ClusterConfig | None = None):
+        topology.validate()
+        self.topology = topology
+        self.config = config or ClusterConfig()
+        self.sim = Simulator(seed=self.config.seed)
+        # Control-plane traffic (Zookeeper sessions, commit coordination)
+        # rides TCP-backed sessions in real deployments: exempt from loss.
+        reliable = (
+            "zk.submit", "zk.deliver", "zk.set", "zk.get",
+            "zk.get_reply", "zk.set_reply",
+            "txn.ready", "txn.committed", "txn.reack",
+        )
+        self.network = Network(
+            self.sim,
+            latency=self.config.latency,
+            drop_prob=self.config.drop_prob,
+            dup_prob=self.config.dup_prob,
+            reliable_kinds=reliable,
+        )
+        self.trace = Trace()
+        self._tasks: dict[str, list[str]] = {}
+        self._spout_tasks: list[str] = []
+        self._bolt_tasks: dict[str, _BoltTask] = {}
+        self._exhausted_spouts = 0
+        self.batches_acked: list[tuple[int, float]] = []
+        self._terminal = self._find_terminal()
+        self._build_tasks()
+        self.coordinator = None
+        if self.config.transactional:
+            from repro.storm.transactional import install_transactional
+
+            self.coordinator = install_transactional(self)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _find_terminal(self) -> str:
+        terminals = [
+            name
+            for name in self.topology.bolts
+            if not self.topology.consumers_of(name)
+        ]
+        if len(terminals) != 1:
+            raise StormError(
+                f"expected exactly one terminal bolt, found {terminals}"
+            )
+        return terminals[0]
+
+    def task_names(self, component: str) -> list[str]:
+        if component not in self._tasks:
+            declaration = self.topology.declaration(component)
+            self._tasks[component] = [
+                f"{component}#{i}" for i in range(declaration.parallelism)
+            ]
+        return self._tasks[component]
+
+    def upstream_tasks_of(self, component: str) -> frozenset[str]:
+        names: set[str] = set()
+        for grouping in self.topology.declaration(component).groupings:
+            names.update(self.task_names(grouping.source))
+        return frozenset(names)
+
+    def expected_punct_tasks(self, component: str, batch: int) -> frozenset[str]:
+        """Upstream tasks whose punctuation completes ``batch`` here.
+
+        Every task of an upstream *bolt* forwards a punctuation for every
+        batch, but a *spout* batch is emitted (and punctuated) only by its
+        owning spout task.
+        """
+        names: set[str] = set()
+        for grouping in self.topology.declaration(component).groupings:
+            source = grouping.source
+            tasks = self.task_names(source)
+            if self.topology.declaration(source).is_spout:
+                names.add(tasks[batch % len(tasks)])
+            else:
+                names.update(tasks)
+        return frozenset(names)
+
+    def _build_tasks(self) -> None:
+        for component in self.topology.spouts:
+            for index, name in enumerate(self.task_names(component)):
+                task = _SpoutTask(name, self, component, index)
+                self.network.register(task)
+                self._spout_tasks.append(name)
+        for component in self.topology.bolts:
+            for index, name in enumerate(self.task_names(component)):
+                task = _BoltTask(name, self, component, index)
+                self.network.register(task)
+                self._bolt_tasks[name] = task
+
+    # ------------------------------------------------------------------
+    # cluster-wide facts used by tasks
+    # ------------------------------------------------------------------
+    @property
+    def acker_tasks(self) -> list[str]:
+        """Terminal-bolt tasks: the processes that acknowledge batches."""
+        return self.task_names(self._terminal)
+
+    @property
+    def terminal_component(self) -> str:
+        return self._terminal
+
+    def batch_owner(self, batch: int) -> str:
+        """The spout task that emitted (and can replay) a batch."""
+        return self._spout_tasks[batch % len(self._spout_tasks)]
+
+    def note_spout_exhausted(self) -> None:
+        self._exhausted_spouts += 1
+
+    def note_batch_acked(self, batch: int, time: float) -> None:
+        self.batches_acked.append((batch, time))
+        self.trace.record(time, "cluster", "batch_complete", batch)
+
+    # transactional plumbing (wired by install_transactional)
+    def coordinator_ready(self, task: "_BoltTask", batch: int) -> None:
+        assert self.coordinator is not None
+        self.coordinator.mark_ready(task, batch)
+
+    def transactional_hook(self, task: "_BoltTask", msg: Message) -> bool:
+        assert self.coordinator is not None
+        return self.coordinator.handle_task_message(task, msg)
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def run(self, *, until: float | None = None, max_events: int | None = None) -> float:
+        """Start every task and drain the simulation."""
+        self.network.start()
+        return self.sim.run(until=until, max_events=max_events)
+
+    def bolt_task(self, name: str) -> _BoltTask:
+        return self._bolt_tasks[name]
+
+    @property
+    def total_replays(self) -> int:
+        return sum(
+            task.replays
+            for task in self.network.processes
+            if isinstance(task, _SpoutTask)
+        )

@@ -1,0 +1,133 @@
+"""Integration tests for the ad-tracking network (paper Section VIII-B)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.ad_network import AdWorkload, run_ad_network
+
+SMALL = AdWorkload(
+    ad_servers=2,
+    entries_per_server=100,
+    batch_size=25,
+    sleep=0.1,
+    campaigns=6,
+    requests=6,
+    report_replicas=3,
+)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """One run per strategy, shared across assertions (simulation is
+    deterministic, so sharing is safe)."""
+    return {
+        strategy: run_ad_network(strategy, workload=SMALL, seed=1)
+        for strategy in ("uncoordinated", "ordered", "seal", "independent-seal")
+    }
+
+
+def test_every_strategy_processes_all_records(runs):
+    for strategy, result in runs.items():
+        for node in result.report_nodes:
+            assert result.processed_count(node) == SMALL.total_entries, strategy
+
+
+def test_ordered_is_slowest(runs):
+    ordered = runs["ordered"].completion_time
+    for strategy in ("uncoordinated", "seal", "independent-seal"):
+        assert ordered > runs[strategy].completion_time
+
+
+def test_seal_strategies_track_uncoordinated(runs):
+    """Both seal variants finish within a small factor of uncoordinated."""
+    base = runs["uncoordinated"].completion_time
+    assert runs["seal"].completion_time < base * 1.5
+    assert runs["independent-seal"].completion_time < base * 1.5
+
+
+def test_ordered_and_sealed_replicas_agree(runs):
+    assert runs["ordered"].replicas_agree
+    assert runs["seal"].replicas_agree
+    assert runs["independent-seal"].replicas_agree
+
+
+def test_registry_lookups_once_per_partition_per_replica(runs):
+    expected = SMALL.campaigns * SMALL.report_replicas
+    assert runs["seal"].registry_lookups == expected
+    assert runs["independent-seal"].registry_lookups == expected
+
+
+def test_processed_series_is_monotone_and_complete(runs):
+    for strategy, result in runs.items():
+        series = result.processed_series(bucket=0.1)
+        counts = [count for _, count in series]
+        assert counts == sorted(counts), strategy
+        assert counts[-1] == SMALL.total_entries, strategy
+
+
+def test_uncoordinated_can_return_inconsistent_answers():
+    """The paper 'confirmed by observation that certain queries posed to
+    multiple reporting server replicas returned inconsistent results'.
+    With requests racing clicks, some seed exhibits disagreement."""
+    workload = AdWorkload(
+        ad_servers=2,
+        entries_per_server=120,
+        batch_size=10,
+        sleep=0.02,
+        campaigns=4,
+        requests=25,
+        report_replicas=3,
+    )
+    saw_disagreement = False
+    for seed in range(8):
+        result = run_ad_network(
+            "uncoordinated", workload=workload, seed=seed, query="POOR",
+            query_kwargs={"threshold": 10},
+        )
+        if not result.replicas_agree:
+            saw_disagreement = True
+            break
+    assert saw_disagreement, "no seed exhibited replica disagreement"
+
+
+def test_sealed_run_is_deterministic_across_delivery_orders():
+    """Seal-coordinated responses are identical for different network
+    interleavings — the determinism Blazes certifies for CAMPAIGN."""
+    reference = None
+    for seed in (3, 4, 5):
+        result = run_ad_network(
+            "seal", workload=SMALL, seed=seed, workload_seed=1,
+            query="CAMPAIGN", query_kwargs={"threshold": 100},
+        )
+        # compare click tables (the processed log) across replicas
+        tables = [
+            result.cluster.node(n).read("clicks") for n in result.report_nodes
+        ]
+        assert tables[0] == tables[1] == tables[2]
+        if reference is None:
+            reference = tables[0]
+        else:
+            assert tables[0] == reference
+
+
+def test_doubling_servers_hurts_ordered_more_than_uncoordinated():
+    """The paper's scaling observation: doubling ad servers had little
+    effect on the uncoordinated run but tripled the ordered one."""
+    small = AdWorkload(ad_servers=2, entries_per_server=80, batch_size=20,
+                       sleep=0.1, campaigns=4, requests=4)
+    large = AdWorkload(ad_servers=4, entries_per_server=80, batch_size=20,
+                       sleep=0.1, campaigns=4, requests=4)
+    unc_small = run_ad_network("uncoordinated", workload=small, seed=2)
+    unc_large = run_ad_network("uncoordinated", workload=large, seed=2)
+    ord_small = run_ad_network("ordered", workload=small, seed=2)
+    ord_large = run_ad_network("ordered", workload=large, seed=2)
+    unc_growth = unc_large.completion_time / unc_small.completion_time
+    ord_growth = ord_large.completion_time / ord_small.completion_time
+    assert ord_growth > unc_growth
+    assert ord_growth > 1.5
+
+
+def test_unknown_strategy_rejected():
+    with pytest.raises(ValueError):
+        run_ad_network("chaos", workload=SMALL)

@@ -1,0 +1,111 @@
+"""Convergence vs confluence on the LWW key/value store (Section III-B)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.kvs import LwwKvs, SnapshotCache, kvs_dataflow
+from repro.bloom.analysis import analyze_module
+from repro.bloom.runtime import BloomRuntime
+from repro.core import LabelKind, OrderStrategy, SealStrategy, analyze, choose_strategies
+from repro.core.annotations import AnnotationKind
+
+writes = st.lists(
+    st.tuples(
+        st.sampled_from(["x", "y"]),
+        st.integers(0, 9),
+        st.integers(0, 5),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def final_store(rows, *, one_per_tick: bool) -> dict:
+    runtime = BloomRuntime(LwwKvs())
+    if one_per_tick:
+        for row in rows:
+            runtime.insert("put", [row])
+            runtime.tick()
+    else:
+        runtime.insert("put", rows)
+        runtime.tick()
+    module = runtime.module
+    return {
+        key: module.current_value(runtime, key)
+        for key in {row[0] for row in rows}
+    }
+
+
+class TestConvergence:
+    @settings(max_examples=40)
+    @given(writes, st.permutations(list(range(12))))
+    def test_final_state_is_order_insensitive(self, rows, order):
+        """Convergence: the winner per key depends only on the write set."""
+        permuted = [rows[i] for i in order if i < len(rows)]
+        assert final_store(rows, one_per_tick=True) == final_store(
+            permuted, one_per_tick=True
+        )
+
+    @settings(max_examples=40)
+    @given(writes)
+    def test_batched_equals_trickled(self, rows):
+        assert final_store(rows, one_per_tick=False) == final_store(
+            rows, one_per_tick=True
+        )
+
+
+class TestNonConfluence:
+    def test_get_snapshots_depend_on_interleaving(self):
+        """Confluence fails: a GET racing two PUTs reads different
+        snapshots under different interleavings."""
+
+        def run(first, second):
+            runtime = BloomRuntime(LwwKvs())
+            runtime.insert("put", [first])
+            runtime.tick()
+            runtime.insert("get", [("q", "x")])
+            out_mid = runtime.tick()["getr"]
+            runtime.insert("put", [second])
+            runtime.tick()
+            return out_mid
+
+        a = ("x", 1, 10)
+        b = ("x", 2, 20)
+        assert run(a, b) != run(b, a)
+
+    def test_cache_pins_divergent_snapshots(self):
+        """Two cache replicas fed different snapshots diverge forever."""
+        snapshots = [("q", "x", 1)], [("q", "x", 2)]
+        caches = []
+        for snapshot in snapshots:
+            runtime = BloomRuntime(SnapshotCache())
+            runtime.insert("response", snapshot)
+            runtime.tick()
+            runtime.tick()
+            caches.append(runtime.read("entries"))
+        assert caches[0] != caches[1]  # permanent: entries is a table
+
+
+class TestBlazesDiagnosis:
+    def test_whitebox_extracts_per_key_gate(self):
+        analysis = analyze_module(LwwKvs())
+        put_path = analysis.annotation_for("put", "getr")
+        get_path = analysis.annotation_for("get", "getr")
+        assert put_path.kind is AnnotationKind.OR
+        assert put_path.gate == frozenset({"key"})
+        assert get_path.kind is AnnotationKind.OR
+
+    def test_unsealed_kvs_cache_dataflow_diverges(self):
+        result = analyze(kvs_dataflow())
+        assert result.label_of("responses").kind is LabelKind.INST
+        assert result.label_of("cached").kind is LabelKind.DIVERGE
+        plan = choose_strategies(result)
+        assert isinstance(plan.strategy_for("Store"), OrderStrategy)
+
+    def test_per_key_seal_discharges_coordination(self):
+        result = analyze(kvs_dataflow(seal_puts_on_key=True))
+        assert result.label_of("cached").kind is LabelKind.ASYNC
+        plan = choose_strategies(result)
+        assert isinstance(plan.strategy_for("Store"), SealStrategy)

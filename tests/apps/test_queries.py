@@ -1,0 +1,87 @@
+"""Semantic tests for the Figure 6 reporting queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.queries import QUERY_NAMES, make_report_module
+from repro.bloom.runtime import BloomRuntime
+
+
+def clicks_for(ad: str, n: int, campaign="c1", window=0):
+    return [(campaign, window, ad, f"u{i}") for i in range(n)]
+
+
+def run_query(query, clicks, requests, **kwargs):
+    runtime = BloomRuntime(make_report_module(query, **kwargs))
+    runtime.insert("click", clicks)
+    runtime.insert("request", requests)
+    return runtime.tick()["response"]
+
+
+def test_thresh_emits_only_above_threshold():
+    clicks = clicks_for("hot", 11) + clicks_for("cold", 2)
+    responses = run_query(
+        "THRESH", clicks, [("q1", "hot"), ("q2", "cold")], threshold=10
+    )
+    assert responses == {("q1", "hot")}
+
+
+def test_poor_emits_only_below_threshold():
+    clicks = clicks_for("hot", 11) + clicks_for("cold", 2)
+    responses = run_query(
+        "POOR", clicks, [("q1", "hot"), ("q2", "cold")], threshold=10
+    )
+    assert responses == {("q2", "cold")}
+
+
+def test_window_counts_per_window():
+    clicks = clicks_for("ad", 5, window=0) + clicks_for("ad", 1, window=1)
+    # threshold 3: window 0 has 5 clicks (not poor), window 1 has 1 (poor)
+    responses = run_query("WINDOW", clicks, [("q1", "ad")], threshold=3)
+    # the ad is poor in window 1, so it is reported
+    assert responses == {("q1", "ad")}
+
+
+def test_campaign_counts_per_campaign():
+    clicks = clicks_for("ad", 5, campaign="c1") + clicks_for("ad", 1, campaign="c2")
+    responses = run_query("CAMPAIGN", clicks, [("q1", "ad")], threshold=3)
+    assert responses == {("q1", "ad")}
+
+
+def test_poor_answers_can_shrink_as_clicks_arrive():
+    """POOR is nonmonotonic: an early answer is retracted by later clicks
+    — the root of the paper's replica-divergence anomaly."""
+    runtime = BloomRuntime(make_report_module("POOR", threshold=10))
+    runtime.insert("click", clicks_for("ad", 2))
+    runtime.insert("request", [("q1", "ad")])
+    first = runtime.tick()["response"]
+    assert first == {("q1", "ad")}
+    runtime.insert("click", clicks_for("ad", 20))
+    runtime.insert("request", [("q1", "ad")])
+    second = runtime.tick()["response"]
+    assert second == frozenset()
+
+
+def test_thresh_answers_never_retract():
+    runtime = BloomRuntime(make_report_module("THRESH", threshold=5))
+    runtime.insert("click", clicks_for("ad", 6))
+    runtime.insert("request", [("q1", "ad")])
+    first = runtime.tick()["response"]
+    assert first == {("q1", "ad")}
+    runtime.insert("click", clicks_for("ad", 100))
+    runtime.insert("request", [("q1", "ad")])
+    second = runtime.tick()["response"]
+    assert second == {("q1", "ad")}
+
+
+@pytest.mark.parametrize("query", QUERY_NAMES)
+def test_every_query_module_builds(query):
+    module = make_report_module(query)
+    assert {d.name for d in module.inputs} == {"click", "request"}
+    assert [d.name for d in module.outputs] == ["response"]
+
+
+def test_unknown_query_rejected():
+    with pytest.raises(ValueError):
+        make_report_module("MEDIAN")

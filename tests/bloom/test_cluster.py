@@ -1,0 +1,177 @@
+"""Tests for distributed Bloom: nodes, channels, and delivery policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bloom.cluster import INSERT_MSG, BloomCluster
+from repro.bloom.module import BloomModule
+from repro.bloom.rewrite import (
+    OrderedInputAdapter,
+    OrderedInputPublisher,
+    SealedInputAdapter,
+)
+from repro.coord.sealing import SealedStreamProducer
+from repro.coord.zookeeper import install_zookeeper
+from repro.errors import BloomError
+from repro.sim.network import Process
+
+
+class Pinger(BloomModule):
+    """Forwards everything it hears to a peer, once (echo suppressed)."""
+
+    def setup(self):
+        self.input_interface("start", ["addr", "v"])
+        self.channel("ping", ["@addr", "v"])
+        self.output_interface("heard", ["v"])
+        self.table("log", ["v"])
+
+    def rules(self):
+        return [
+            self.rule("ping", "<~", self.scan("start")),
+            self.rule("log", "<=", self.project(self.scan("ping"), ["v"])),
+            self.rule("heard", "<=", self.scan("log")),
+        ]
+
+
+def test_channels_route_between_nodes():
+    cluster = BloomCluster(seed=1)
+    n1 = cluster.add_node("n1", Pinger())
+    n2 = cluster.add_node("n2", Pinger())
+    n1.insert("start", [("n2", "hello"), ("n2", "again")])
+    cluster.run()
+    assert n2.output_history("heard") == {("hello",), ("again",)}
+    assert n1.output_history("heard") == frozenset()
+
+
+def test_insert_message_kind():
+    cluster = BloomCluster(seed=1)
+    node = cluster.add_node("n1", Pinger())
+
+    class Driver(Process):
+        def recv(self, msg):
+            pass
+
+        def on_start(self):
+            self.send("n1", INSERT_MSG, ("start", [("n1", "x")]))
+
+    cluster.network.register(Driver("driver"))
+    cluster.run()
+    assert node.output_history("heard") == {("x",)}
+
+
+def test_unknown_message_kind_raises():
+    cluster = BloomCluster(seed=1)
+    cluster.add_node("n1", Pinger())
+
+    class Rogue(Process):
+        def recv(self, msg):
+            pass
+
+        def on_start(self):
+            self.send("n1", "mystery", None)
+
+    cluster.network.register(Rogue("rogue"))
+    with pytest.raises(BloomError):
+        cluster.run()
+
+
+def test_node_lookup():
+    cluster = BloomCluster()
+    node = cluster.add_node("n1", Pinger())
+    assert cluster.node("n1") is node
+    assert cluster.nodes == (node,)
+    with pytest.raises(BloomError):
+        cluster.node("ghost")
+
+
+class Accumulator(BloomModule):
+    def setup(self):
+        self.input_interface("inp", ["v"])
+        self.output_interface("out", ["v"])
+        self.table("store", ["v"])
+
+    def rules(self):
+        return [
+            self.rule("store", "<=", self.scan("inp")),
+            self.rule("out", "<=", self.scan("store")),
+        ]
+
+
+def test_ordered_adapter_applies_identical_sequences():
+    cluster = BloomCluster(seed=5)
+    zk = install_zookeeper(cluster.network)
+    nodes = [cluster.add_node(f"r{i}", Accumulator()) for i in range(3)]
+    adapters = []
+    for node in nodes:
+        adapters.append(OrderedInputAdapter(node, "ops"))
+        zk.subscribe("ops", node.name)
+
+    class Producer(Process):
+        def __init__(self, name):
+            super().__init__(name)
+            self.pub = OrderedInputPublisher(self, "ops")
+
+        def recv(self, msg):
+            self.pub.handle(msg)
+
+        def on_start(self):
+            for i in range(10):
+                self.pub.publish("inp", (f"{self.name}-{i}",))
+
+    for p in range(2):
+        cluster.network.register(Producer(f"p{p}"))
+    cluster.run()
+    stores = [node.read("store") for node in nodes]
+    assert stores[0] == stores[1] == stores[2]
+    assert len(stores[0]) == 20
+    assert all(adapter.applied == 20 for adapter in adapters)
+
+
+def test_sealed_adapter_buffers_until_punctuated():
+    cluster = BloomCluster(seed=5)
+    node = cluster.add_node("r0", Accumulator())
+    SealedInputAdapter(
+        node, "s", "inp", producers_for=lambda partition: frozenset({"p0"})
+    )
+
+    class Producer(Process):
+        def __init__(self, name):
+            super().__init__(name)
+            self.out = SealedStreamProducer(self, "s")
+
+        def recv(self, msg):
+            pass
+
+        def on_start(self):
+            self.out.send_record("r0", "k1", ("a",))
+            self.out.send_record("r0", "k2", ("b",))
+            self.out.seal("r0", "k1")
+
+    cluster.network.register(Producer("p0"))
+    cluster.run()
+    # only the sealed partition became visible
+    assert node.read("store") == {("a",)}
+
+
+def test_apply_strategy_dispatch():
+    from repro.core.strategy import NoCoordination, OrderStrategy, SealStrategy
+    from repro.bloom.rewrite import apply_strategy
+
+    cluster = BloomCluster(seed=0)
+    node = cluster.add_node("n", Accumulator())
+    assert apply_strategy(node, NoCoordination("n")) is None
+    adapter = apply_strategy(node, OrderStrategy("n", ("inp",), "test"))
+    assert isinstance(adapter, OrderedInputAdapter)
+    seal = apply_strategy(
+        node,
+        SealStrategy("n", (("s", frozenset({"k"})),), (frozenset({"k"}),)),
+        stream_collections={"s": "inp"},
+        producers_for=lambda partition: frozenset({"p0"}),
+    )
+    assert isinstance(seal, SealedInputAdapter)
+    with pytest.raises(BloomError):
+        apply_strategy(
+            node,
+            SealStrategy("n", (("s", frozenset({"k"})),), (frozenset({"k"}),)),
+        )

@@ -1,0 +1,146 @@
+"""Property-based tests for Bloom evaluation semantics.
+
+The central invariant is the CALM intuition the paper builds on: a
+*monotonic* program produces the same outputs for every partition and
+arrival order of its inputs (confluence), while the runtime itself must be
+deterministic given an input schedule.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.queries import make_report_module
+from repro.bloom.module import BloomModule
+from repro.bloom.runtime import BloomRuntime
+
+
+class Closure(BloomModule):
+    """Monotonic: transitive closure over an edge stream."""
+
+    def setup(self):
+        self.input_interface("edge", ["s", "d"])
+        self.output_interface("reach", ["s", "d"])
+        self.table("path", ["s", "d"])
+
+    def rules(self):
+        hop = self.join(
+            self.scan("path"),
+            self.project(self.scan("path"), [("s", "m"), ("d", "far")]),
+            on=[("d", "m")],
+        )
+        return [
+            self.rule("path", "<=", self.scan("edge")),
+            self.rule("path", "<=", self.project(hop, ["s", ("far", "d")])),
+            self.rule("reach", "<=", self.scan("path")),
+        ]
+
+
+edges = st.lists(
+    st.tuples(st.integers(0, 6), st.integers(0, 6)), min_size=0, max_size=15
+)
+
+
+def run_in_batches(module_factory, rows, splits, output):
+    runtime = BloomRuntime(module_factory())
+    start = 0
+    final = frozenset()
+    boundaries = sorted(set(splits)) + [len(rows)]
+    for boundary in boundaries:
+        chunk = rows[start:boundary]
+        start = boundary
+        runtime.insert("edge", chunk)
+        final = runtime.tick()[output]
+    # one extra settling tick so late table state is reflected
+    final = runtime.tick()[output]
+    return final
+
+
+class TestConfluence:
+    @settings(max_examples=40)
+    @given(edges, st.permutations(list(range(15))))
+    def test_monotonic_program_is_order_insensitive(self, rows, order):
+        """Any input order yields the same final closure."""
+        reference = run_in_batches(Closure, rows, [], "reach")
+        permuted = [rows[i] for i in order if i < len(rows)]
+        shuffled = run_in_batches(Closure, permuted, [], "reach")
+        assert reference == shuffled
+
+    @settings(max_examples=40)
+    @given(edges, st.lists(st.integers(0, 15), max_size=4))
+    def test_monotonic_program_is_batching_insensitive(self, rows, splits):
+        """Any partitioning into timesteps yields the same final closure."""
+        reference = run_in_batches(Closure, rows, [], "reach")
+        chunked = run_in_batches(Closure, rows, splits, "reach")
+        assert reference == chunked
+
+    @settings(max_examples=30)
+    @given(edges)
+    def test_outputs_grow_monotonically_across_ticks(self, rows):
+        runtime = BloomRuntime(Closure())
+        seen = frozenset()
+        for row in rows:
+            runtime.insert("edge", [row])
+            out = runtime.tick()["reach"]
+            assert seen <= out
+            seen = out
+
+
+clicks = st.lists(
+    st.tuples(
+        st.sampled_from(["c1", "c2"]),
+        st.integers(0, 1),
+        st.sampled_from(["ad1", "ad2", "ad3"]),
+        st.integers(0, 50),
+    ),
+    min_size=0,
+    max_size=25,
+)
+
+
+class TestQueryConfluence:
+    @settings(max_examples=30)
+    @given(clicks, st.lists(st.integers(0, 25), max_size=3))
+    def test_thresh_is_confluent_under_batching(self, rows, splits):
+        """THRESH (monotone aggregate) gives batching-insensitive answers."""
+
+        def run(split_points):
+            runtime = BloomRuntime(make_report_module("THRESH", threshold=2))
+            runtime.insert("request", [("q", "ad1"), ("q", "ad2"), ("q", "ad3")])
+            start = 0
+            for boundary in sorted(set(split_points)) + [len(rows)]:
+                runtime.insert("click", rows[start:boundary])
+                start = boundary
+                runtime.tick()
+            return runtime.tick()["response"]
+
+        assert run([]) == run(splits)
+
+    @settings(max_examples=30)
+    @given(clicks)
+    def test_campaign_complete_partitions_are_order_insensitive(self, rows):
+        """Evaluating CAMPAIGN over complete partitions (what the seal
+        protocol guarantees) yields one deterministic answer set."""
+
+        def run(ordering):
+            runtime = BloomRuntime(make_report_module("CAMPAIGN", threshold=3))
+            runtime.insert("request", [("q", "ad1"), ("q", "ad2")])
+            runtime.insert("click", ordering)
+            runtime.tick()
+            return runtime.tick()["response"]
+
+        assert run(rows) == run(list(reversed(rows)))
+
+
+class TestRuntimeDeterminism:
+    @settings(max_examples=20)
+    @given(edges)
+    def test_identical_schedules_identical_states(self, rows):
+        a = BloomRuntime(Closure())
+        b = BloomRuntime(Closure())
+        for row in rows:
+            a.insert("edge", [row])
+            b.insert("edge", [row])
+            assert a.tick() == b.tick()
+        assert a.read("path") == b.read("path")

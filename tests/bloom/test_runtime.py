@@ -1,0 +1,144 @@
+"""Unit tests for the single-node Bloom timestep runtime."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bloom.module import BloomModule
+from repro.bloom.runtime import BloomRuntime
+from repro.errors import BloomError
+
+
+class PathModule(BloomModule):
+    """Transitive closure: a classic fixpoint program."""
+
+    def setup(self):
+        self.input_interface("edge", ["src", "dst"])
+        self.output_interface("reach", ["src", "dst"])
+        self.table("link", ["src", "dst"])
+        self.table("path", ["src", "dst"])
+
+    def rules(self):
+        hop = self.join(
+            self.scan("link"),
+            self.project(self.scan("path"), [("src", "mid"), ("dst", "far")]),
+            on=[("dst", "mid")],
+        )
+        return [
+            self.rule("link", "<=", self.scan("edge")),
+            self.rule("path", "<=", self.scan("link")),
+            self.rule("path", "<=", self.project(hop, ["src", ("far", "dst")])),
+            self.rule("reach", "<=", self.scan("path")),
+        ]
+
+
+class DeferredModule(BloomModule):
+    def setup(self):
+        self.input_interface("inp", ["v"])
+        self.output_interface("out", ["v"])
+        self.table("seen", ["v"])
+        self.table("old", ["v"])
+
+    def rules(self):
+        return [
+            self.rule("seen", "<=", self.scan("inp")),
+            self.rule("old", "<+", self.scan("seen")),   # deferred copy
+            self.rule("seen", "<-", self.scan("old")),   # delete what aged
+            self.rule("out", "<=", self.scan("seen")),
+        ]
+
+
+def test_transitive_closure_reaches_fixpoint_in_one_tick():
+    runtime = BloomRuntime(PathModule())
+    runtime.insert("edge", [(1, 2), (2, 3), (3, 4)])
+    outputs = runtime.tick()
+    assert outputs["reach"] == {
+        (1, 2), (2, 3), (3, 4), (1, 3), (2, 4), (1, 4),
+    }
+
+
+def test_tables_persist_and_scratches_clear():
+    runtime = BloomRuntime(PathModule())
+    runtime.insert("edge", [(1, 2)])
+    runtime.tick()
+    # next tick: input interface cleared, table retained
+    outputs = runtime.tick()
+    assert runtime.read("edge") == frozenset()
+    assert runtime.read("link") == {(1, 2)}
+    assert outputs["reach"] == {(1, 2)}
+
+
+def test_incremental_input_extends_closure():
+    runtime = BloomRuntime(PathModule())
+    runtime.insert("edge", [(1, 2)])
+    runtime.tick()
+    runtime.insert("edge", [(2, 3)])
+    outputs = runtime.tick()
+    assert (1, 3) in outputs["reach"]
+
+
+def test_deferred_and_delete_apply_next_tick():
+    runtime = BloomRuntime(DeferredModule())
+    runtime.insert("inp", [(1,)])
+    out1 = runtime.tick()
+    assert out1["out"] == {(1,)}
+    # tick 2: old <+ got (1,), so seen loses it at tick 3
+    out2 = runtime.tick()
+    assert out2["out"] == {(1,)}
+    out3 = runtime.tick()
+    assert out3["out"] == frozenset()
+
+
+def test_insert_arity_checked():
+    runtime = BloomRuntime(PathModule())
+    with pytest.raises(BloomError):
+        runtime.insert("edge", [(1, 2, 3)])
+
+
+def test_insert_into_output_rejected():
+    runtime = BloomRuntime(PathModule())
+    with pytest.raises(BloomError):
+        runtime.insert("reach", [(1, 2)])
+
+
+def test_async_without_transport_raises():
+    class Chatty(BloomModule):
+        def setup(self):
+            self.input_interface("inp", ["addr", "v"])
+            self.channel("chan", ["@addr", "v"])
+
+        def rules(self):
+            return [self.rule("chan", "<~", self.scan("inp"))]
+
+    runtime = BloomRuntime(Chatty())
+    runtime.insert("inp", [("n1", 7)])
+    with pytest.raises(BloomError):
+        runtime.tick()
+
+
+def test_async_rule_hands_tuples_to_transport():
+    sent = []
+
+    class Chatty(BloomModule):
+        def setup(self):
+            self.input_interface("inp", ["addr", "v"])
+            self.channel("chan", ["@addr", "v"])
+
+        def rules(self):
+            return [self.rule("chan", "<~", self.scan("inp"))]
+
+    runtime = BloomRuntime(
+        Chatty(), on_channel_send=lambda chan, addr, row: sent.append((chan, addr, row))
+    )
+    runtime.insert("inp", [("n1", 7), ("n2", 8)])
+    runtime.tick()
+    assert sorted(sent) == [("chan", "n1", ("n1", 7)), ("chan", "n2", ("n2", 8))]
+
+
+def test_has_pending_input_reflects_queues():
+    runtime = BloomRuntime(PathModule())
+    assert not runtime.has_pending_input
+    runtime.insert("edge", [(1, 2)])
+    assert runtime.has_pending_input
+    runtime.tick()
+    assert not runtime.has_pending_input

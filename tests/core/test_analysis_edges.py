@@ -1,0 +1,147 @@
+"""Edge cases for the whole-dataflow analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    CR,
+    CW,
+    OR,
+    OW,
+    Dataflow,
+    Inst,
+    LabelKind,
+    Run,
+    analyze,
+)
+from repro.errors import AnalysisError
+
+
+def test_multi_component_cycle_is_collapsed():
+    """Two components gossiping through each other form one cycle."""
+    flow = Dataflow("gossip")
+    a = flow.add_component("A")
+    a.add_path("in", "out", CW())
+    a.add_path("peer", "out", CW())
+    b = flow.add_component("B")
+    b.add_path("in", "out", CW())
+    flow.add_stream("src", dst=("A", "in"))
+    flow.add_stream("ab", src=("A", "out"), dst=("B", "in"))
+    flow.add_stream("ba", src=("B", "out"), dst=("A", "peer"))
+    flow.add_stream("sink", src=("B", "out"))
+    result = analyze(flow)
+    assert result.cycles == (frozenset({"A", "B"}),)
+    assert result.label_of("sink").kind is LabelKind.ASYNC
+    assert result.output("A", "out").collapsed
+    assert result.output("B", "out").collapsed
+
+
+def test_cycle_collapse_takes_worst_annotation():
+    """An order-sensitive member dominates the collapsed cycle."""
+    flow = Dataflow("bad-gossip")
+    a = flow.add_component("A", rep=True)
+    a.add_path("in", "out", CW())
+    a.add_path("peer", "out", OW("k"))
+    b = flow.add_component("B")
+    b.add_path("in", "out", CW())
+    flow.add_stream("src", dst=("A", "in"))
+    flow.add_stream("ab", src=("A", "out"), dst=("B", "in"))
+    flow.add_stream("ba", src=("B", "out"), dst=("A", "peer"))
+    flow.add_stream("sink", src=("B", "out"))
+    result = analyze(flow)
+    assert result.label_of("sink").kind is LabelKind.DIVERGE
+
+
+def test_external_label_override():
+    """Tests can mark an external input as already-Inst."""
+    flow = Dataflow("override")
+    comp = flow.add_component("Store")
+    comp.add_path("in", "out", CW())
+    flow.add_stream("in", dst=("Store", "in"), label=Inst(), rep=True)
+    flow.add_stream("out", src=("Store", "out"))
+    result = analyze(flow)
+    # Inst into stateful + replicated consumer -> Diverge
+    assert result.label_of("out").kind is LabelKind.DIVERGE
+
+
+def test_label_override_with_seal_rejected():
+    flow = Dataflow("conflict")
+    comp = flow.add_component("C")
+    comp.add_path("in", "out", OW("k"))
+    flow.add_stream("in", dst=("C", "in"), seal=["k"], label=Run())
+    flow.add_stream("out", src=("C", "out"))
+    with pytest.raises(AnalysisError):
+        analyze(flow)
+
+
+def test_rep_stream_annotation_without_rep_component():
+    """The Rep annotation can ride on a stream directly."""
+    flow = Dataflow("rep-stream")
+    producer = flow.add_component("P")
+    producer.add_path("in", "out", OR("k"))
+    consumer = flow.add_component("C")
+    consumer.add_path("in", "out", CW())
+    flow.add_stream("src", dst=("P", "in"))
+    flow.add_stream("mid", src=("P", "out"), dst=("C", "in"), rep=True)
+    flow.add_stream("sink", src=("C", "out"))
+    result = analyze(flow)
+    # P itself is unreplicated -> its unprotected read is Run.  Run means
+    # cross-run nondeterminism only: within one run, every consumer
+    # replica sees the same contents, so the output does not diverge —
+    # it stays Run through the confluent stateful consumer.
+    assert result.label_of("mid").kind is LabelKind.RUN
+    assert result.label_of("sink").kind is LabelKind.RUN
+
+
+def test_fan_out_assigns_same_label_to_all_consumers():
+    flow = Dataflow("fan")
+    src = flow.add_component("Src")
+    src.add_path("in", "out", CR())
+    for name in ("A", "B"):
+        comp = flow.add_component(name)
+        comp.add_path("in", "out", CR())
+        flow.add_stream(f"to_{name}", src=("Src", "out"), dst=(name, "in"))
+        flow.add_stream(f"out_{name}", src=(name, "out"))
+    flow.add_stream("ingress", dst=("Src", "in"), seal=["k"])
+    result = analyze(flow)
+    assert result.label_of("to_A") == result.label_of("to_B")
+    assert result.label_of("out_A").kind is LabelKind.SEAL
+
+
+def test_multiple_streams_into_one_interface():
+    flow = Dataflow("merge-in")
+    comp = flow.add_component("Union")
+    comp.add_path("in", "out", CW())
+    flow.add_stream("left", dst=("Union", "in"), seal=["k"])
+    flow.add_stream("right", dst=("Union", "in"))  # unsealed
+    flow.add_stream("out", src=("Union", "out"))
+    result = analyze(flow)
+    # merge of Seal (from left) and Async (from right) -> Async
+    assert result.label_of("out").kind is LabelKind.ASYNC
+
+
+def test_severity_and_consistency_helpers():
+    flow = Dataflow("helpers")
+    comp = flow.add_component("C", rep=True)
+    comp.add_path("in", "out", OW("k"))
+    flow.add_stream("in", dst=("C", "in"))
+    flow.add_stream("out", src=("C", "out"))
+    result = analyze(flow)
+    assert result.severity == 5
+    assert not result.is_consistent
+    assert result.components_needing_coordination() == ("C",)
+    assert set(result.sink_labels) == {"out"}
+
+
+def test_unknown_stream_label_lookup_raises():
+    flow = Dataflow("lookup")
+    comp = flow.add_component("C")
+    comp.add_path("in", "out", CR())
+    flow.add_stream("in", dst=("C", "in"))
+    flow.add_stream("out", src=("C", "out"))
+    result = analyze(flow)
+    with pytest.raises(AnalysisError):
+        result.label_of("ghost")
+    with pytest.raises(AnalysisError):
+        result.output("C", "ghost")

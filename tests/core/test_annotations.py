@@ -1,0 +1,63 @@
+"""Unit tests for C.O.W.R. path annotations (paper Figure 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.annotations import CR, CW, OR, OW, STAR, parse_annotation
+from repro.errors import AnnotationError
+
+
+def test_severity_matches_figure_7():
+    assert CR().severity == 1
+    assert CW().severity == 2
+    assert OR("g").severity == 3
+    assert OW("g").severity == 4
+
+
+def test_confluence_and_statefulness():
+    assert CR().confluent and not CR().stateful
+    assert CW().confluent and CW().stateful
+    assert not OR("g").confluent and not OR("g").stateful
+    assert not OW("g").confluent and OW("g").stateful
+
+
+def test_star_gate_for_unknown_partitioning():
+    assert OR().gate is STAR
+    assert OW().gate is STAR
+    assert str(OR()) == "OR*"
+
+
+def test_gate_flattening():
+    assert OW("a", "b").gate == frozenset({"a", "b"})
+    assert OW(["a", "b"]).gate == frozenset({"a", "b"})
+    assert str(OW("b", "a")) == "OW[a,b]"
+
+
+def test_confluent_annotations_reject_gates():
+    with pytest.raises(AnnotationError):
+        parse_annotation("CR", ["k"])
+    with pytest.raises(AnnotationError):
+        parse_annotation("CW*")
+
+
+def test_parse_annotation_round_trips():
+    assert parse_annotation("CR") == CR()
+    assert parse_annotation("cw") == CW()
+    assert parse_annotation("OW", ["word", "batch"]) == OW("word", "batch")
+    assert parse_annotation("OR*") == OR()
+    assert parse_annotation("OR") == OR()  # no subscript -> star
+
+
+def test_parse_rejects_unknown_and_conflicting():
+    with pytest.raises(AnnotationError):
+        parse_annotation("XX")
+    with pytest.raises(AnnotationError):
+        parse_annotation("OW*", ["k"])
+
+
+def test_empty_explicit_gate_rejected():
+    from repro.core.annotations import AnnotationKind, PathAnnotation
+
+    with pytest.raises(AnnotationError):
+        PathAnnotation(AnnotationKind.OW, frozenset())

@@ -1,0 +1,113 @@
+"""Unit tests for injective functional dependencies and ``compatible``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.annotations import STAR
+from repro.core.fd import FD, FDSet, compatible
+
+
+class TestFDSet:
+    def test_closure_is_reflexive_and_transitive(self):
+        fds = FDSet()
+        fds.add("a", "b")
+        fds.add("b", "c")
+        assert fds.closure("a") == {"a", "b", "c"}
+        assert fds.closure("b") == {"b", "c"}
+        assert fds.closure("z") == {"z"}
+
+    def test_composite_lhs_requires_full_match(self):
+        fds = FDSet()
+        fds.add(["a", "b"], "c")
+        assert "c" not in fds.closure("a")
+        assert "c" in fds.closure(["a", "b"])
+
+    def test_empty_sides_rejected(self):
+        fds = FDSet()
+        with pytest.raises(ValueError):
+            fds.add([], "x")
+        with pytest.raises(ValueError):
+            fds.add("x", [])
+
+    def test_duplicates_not_stored_twice(self):
+        fds = FDSet()
+        fds.add("a", "b")
+        fds.add("a", "b")
+        assert len(fds) == 1
+        assert FD(frozenset({"a"}), frozenset({"b"}), True) in fds
+
+    def test_injective_images_start_with_identity(self):
+        fds = FDSet()
+        assert frozenset({"k"}) in fds.injective_images("k")
+
+    def test_injective_chain_composes(self):
+        fds = FDSet()
+        fds.add("company", "symbol", injective=True)
+        fds.add("symbol", "isin", injective=True)
+        assert fds.injectively_determines("company", "isin")
+
+    def test_noninjective_links_break_the_chain(self):
+        fds = FDSet()
+        fds.add("company", "city", injective=False)
+        assert not fds.injectively_determines("company", "city")
+        # ...but the city is still in the plain closure
+        assert "city" in fds.closure("company")
+
+    def test_augmentation_with_determined_attributes(self):
+        # pairing an injective image with any determined attribute stays
+        # injective
+        fds = FDSet()
+        fds.add("company", "symbol", injective=True)
+        fds.add("company", "city", injective=False)
+        assert fds.injectively_determines("company", {"symbol", "city"})
+
+    def test_projection_of_composite_key_is_not_injective(self):
+        fds = FDSet()
+        # seal on {a, b} does not injectively determine a alone
+        assert not fds.injectively_determines({"a", "b"}, {"a"})
+        # but it determines {a, b}
+        assert fds.injectively_determines({"a", "b"}, {"a", "b"})
+
+    def test_add_identity_is_bidirectional(self):
+        fds = FDSet()
+        fds.add_identity("x", "y")
+        assert fds.injectively_determines("x", "y")
+        assert fds.injectively_determines("y", "x")
+
+    def test_merged_combines_both_sets(self):
+        a, b = FDSet(), FDSet()
+        a.add("x", "y")
+        b.add("y", "z")
+        merged = a.merged(b)
+        assert merged.injectively_determines("x", "z")
+        assert len(a) == 1 and len(b) == 1  # originals untouched
+
+
+class TestCompatible:
+    def test_identity_seal_in_gate(self):
+        # paper: Seal[batch] is compatible with OW[word,batch]
+        assert compatible({"word", "batch"}, {"batch"})
+
+    def test_composite_seal_needs_full_containment(self):
+        assert compatible({"a", "b", "c"}, {"a", "b"})
+        assert not compatible({"a"}, {"a", "b"})
+
+    def test_star_gate_incompatible_with_everything(self):
+        assert not compatible(STAR, {"k"})
+        assert not compatible(None, {"k"})
+
+    def test_empty_sets_incompatible(self):
+        assert not compatible(frozenset(), {"k"})
+        assert not compatible({"k"}, frozenset())
+
+    def test_injective_fd_extends_compatibility(self):
+        # paper: company name seals imply stock symbol seals
+        fds = FDSet()
+        fds.add("company", "symbol", injective=True)
+        assert compatible({"id", "symbol"}, {"company"}, fds)
+
+    def test_noninjective_fd_does_not(self):
+        fds = FDSet()
+        fds.add("company", "city", injective=False)
+        assert not compatible({"id", "city"}, {"company"}, fds)

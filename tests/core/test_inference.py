@@ -1,0 +1,124 @@
+"""Unit tests for the Figure 9 inference rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.annotations import CR, CW, OR, OW
+from repro.core.fd import FDSet
+from repro.core.inference import derive_path
+from repro.core.labels import (
+    Async,
+    Diverge,
+    Inst,
+    LabelKind,
+    NDRead,
+    Run,
+    Seal,
+    Taint,
+)
+
+
+def outputs(label, annotation, fds=None):
+    return {step.output_label for step in derive_path(label, annotation, fds)}
+
+
+def rules(label, annotation, fds=None):
+    return {step.rule for step in derive_path(label, annotation, fds)}
+
+
+class TestRule1:
+    """{Async, Run} into OR[gate] derives NDRead[gate]."""
+
+    @pytest.mark.parametrize("label", [Async(), Run()])
+    def test_ndread_derived(self, label):
+        assert outputs(label, OR("g")) == {NDRead("g")}
+        assert rules(label, OR("g")) == {"1"}
+
+    def test_star_gate_produces_star_ndread(self):
+        (step,) = derive_path(Async(), OR())
+        assert step.output_label.key == frozenset({"*"})
+
+
+class TestRule2:
+    """{Async, Run} into OW[gate] derives Taint."""
+
+    @pytest.mark.parametrize("label", [Async(), Run()])
+    def test_taint_derived(self, label):
+        assert outputs(label, OW("g")) == {Taint()}
+        assert rules(label, OW("g")) == {"2"}
+
+
+class TestRule3:
+    """Inst into a stateful path derives Taint."""
+
+    def test_inst_into_cw(self):
+        assert outputs(Inst(), CW()) == {Taint()}
+        assert rules(Inst(), CW()) == {"3"}
+
+    def test_inst_into_ow(self):
+        assert outputs(Inst(), OW("g")) == {Taint()}
+
+    def test_inst_into_cr_is_preserved(self):
+        assert outputs(Inst(), CR()) == {Inst()}
+
+    def test_inst_into_or_is_conservative(self):
+        derived = outputs(Inst(), OR("g"))
+        assert Inst() in derived
+        assert NDRead("g") in derived
+
+
+class TestRule4:
+    """Incompatible seals into OW derive Taint."""
+
+    def test_incompatible_seal_ow(self):
+        assert outputs(Seal("other"), OW("g")) == {Taint()}
+        assert rules(Seal("other"), OW("g")) == {"4"}
+
+    def test_incompatible_seal_or_behaves_like_async(self):
+        assert outputs(Seal("other"), OR("g")) == {NDRead("g")}
+
+
+class TestSealConsumption:
+    """Compatible seals are consumed: Async output plus retained seal."""
+
+    @pytest.mark.parametrize("annotation", [OR("g"), OW("g")])
+    def test_compatible_seal(self, annotation):
+        derived = outputs(Seal("g"), annotation)
+        assert derived == {Async(), Seal("g")}
+
+    def test_fd_extends_compatibility(self):
+        fds = FDSet()
+        fds.add("company", "symbol", injective=True)
+        derived = outputs(Seal("company"), OW("symbol"), fds)
+        assert Async() in derived
+
+    def test_confluent_paths_preserve_seals(self):
+        assert outputs(Seal("k"), CR()) == {Seal("k")}
+        assert outputs(Seal("k"), CW()) == {Seal("k")}
+
+
+class TestPreservation:
+    @pytest.mark.parametrize("label", [Async(), Run(), Seal("k")])
+    @pytest.mark.parametrize("annotation", [CR(), CW()])
+    def test_confluent_paths_preserve(self, label, annotation):
+        if label.kind is LabelKind.SEAL:
+            assert outputs(label, annotation) == {label}
+        else:
+            assert outputs(label, annotation) == {label}
+            assert rules(label, annotation) == {"p"}
+
+    def test_diverge_preserved_and_taints_state(self):
+        derived = outputs(Diverge(), CW())
+        assert Diverge() in derived
+        assert Taint() in derived
+
+    def test_diverge_through_stateless_confluent(self):
+        assert outputs(Diverge(), CR()) == {Diverge()}
+
+
+def test_internal_labels_are_invalid_inputs():
+    with pytest.raises(ValueError):
+        derive_path(Taint(), CR())
+    with pytest.raises(ValueError):
+        derive_path(NDRead("g"), OW("g"))

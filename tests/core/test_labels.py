@@ -1,0 +1,84 @@
+"""Unit tests for the stream-label lattice (paper Figure 8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.labels import (
+    Async,
+    Diverge,
+    Inst,
+    Label,
+    LabelKind,
+    NDRead,
+    Run,
+    Seal,
+    Taint,
+    max_label,
+    merge_labels,
+)
+
+
+def test_severity_ranking_matches_figure_8():
+    assert NDRead("g").severity == 0
+    assert Taint().severity == 0
+    assert Seal("k").severity == 1
+    assert Async().severity == 2
+    assert Run().severity == 3
+    assert Inst().severity == 4
+    assert Diverge().severity == 5
+
+
+def test_internal_labels_are_never_output():
+    assert NDRead("g").is_internal
+    assert Taint().is_internal
+    for label in (Seal("k"), Async(), Run(), Inst(), Diverge()):
+        assert not label.is_internal
+
+
+def test_keyed_labels_require_keys():
+    with pytest.raises(ValueError):
+        Label(LabelKind.NDREAD)
+    with pytest.raises(ValueError):
+        Label(LabelKind.SEAL, frozenset())
+    with pytest.raises(ValueError):
+        Label(LabelKind.ASYNC, frozenset({"k"}))
+
+
+def test_key_flattening_accepts_strings_and_iterables():
+    assert Seal("a", "b").key == frozenset({"a", "b"})
+    assert Seal(["a", "b"]).key == frozenset({"a", "b"})
+    assert NDRead({"x"}, "y").key == frozenset({"x", "y"})
+
+
+def test_labels_are_hashable_values():
+    assert Seal("a", "b") == Seal("b", "a")
+    assert len({Async(), Async(), Run()}) == 2
+
+
+def test_string_rendering():
+    assert str(Seal("b", "a")) == "Seal[a,b]"
+    assert str(NDRead("g")) == "NDRead[g]"
+    assert str(Async()) == "Async"
+
+
+def test_merge_drops_internal_and_takes_max():
+    merged = merge_labels([NDRead("g"), Taint(), Seal("k"), Async()])
+    assert merged == Async()
+    assert merge_labels([Seal("k"), Run()]) == Run()
+    assert merge_labels([Inst(), Diverge()]) == Diverge()
+
+
+def test_merge_of_only_internal_defaults_to_async():
+    assert merge_labels([Taint()]) == Async()
+    assert merge_labels([]) == Async()
+
+
+def test_max_label_requires_nonempty():
+    with pytest.raises(ValueError):
+        max_label([])
+
+
+def test_max_label_ties_break_deterministically():
+    a, b = Seal("a"), Seal("b")
+    assert max_label([a, b]) == max_label([b, a])

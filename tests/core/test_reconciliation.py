@@ -1,0 +1,100 @@
+"""Unit tests for the Figure 10 reconciliation procedure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fd import FDSet
+from repro.core.labels import (
+    Async,
+    Diverge,
+    Inst,
+    NDRead,
+    Run,
+    Seal,
+    Taint,
+)
+from repro.core.reconciliation import is_protected, reconcile
+
+
+class TestTaint:
+    def test_taint_on_replicated_component_diverges(self):
+        result = reconcile([Taint(), Async()], replicated=True)
+        assert Diverge() in result.added
+        assert result.merged == Diverge()
+        assert result.tainted
+
+    def test_taint_on_single_instance_is_cross_run(self):
+        result = reconcile([Taint()], replicated=False)
+        assert Run() in result.added
+        assert result.merged == Run()
+
+
+class TestNDRead:
+    def test_unprotected_replicated_is_inst(self):
+        result = reconcile([NDRead("g"), Async()], replicated=True)
+        assert Inst() in result.added
+        assert result.merged == Inst()
+        assert result.unprotected_gates == {frozenset({"g"})}
+
+    def test_unprotected_single_instance_is_run(self):
+        result = reconcile([NDRead("g"), Async()], replicated=False)
+        assert result.merged == Run()
+
+    def test_protected_contributes_async(self):
+        result = reconcile([NDRead("g"), Seal("g")], replicated=True)
+        assert result.merged == Async()
+        assert not result.unprotected_gates
+
+    def test_protection_requires_compatibility(self):
+        result = reconcile([NDRead("g"), Seal("other")], replicated=True)
+        assert result.merged == Inst()
+
+    def test_fd_compatible_seal_protects(self):
+        fds = FDSet()
+        fds.add("company", "symbol", injective=True)
+        result = reconcile(
+            [NDRead("symbol"), Seal("company")], replicated=True, fds=fds
+        )
+        assert result.merged == Async()
+
+
+class TestIsProtected:
+    def test_requires_a_seal(self):
+        assert not is_protected(NDRead("g"), [NDRead("g")])
+        assert not is_protected(NDRead("g"), [NDRead("g"), Async()])
+
+    def test_async_co_labels_tolerated(self):
+        labels = [NDRead("g"), Seal("g"), Async()]
+        assert is_protected(NDRead("g"), labels)
+
+    def test_nondeterministic_co_labels_defeat_protection(self):
+        for bad in (Run(), Inst(), Diverge(), Taint(), NDRead("h")):
+            labels = [NDRead("g"), Seal("g"), bad]
+            assert not is_protected(NDRead("g"), labels), bad
+
+    def test_incompatible_seal_defeats_protection(self):
+        labels = [NDRead("g"), Seal("g"), Seal("x")]
+        assert not is_protected(NDRead("g"), labels)
+
+    def test_only_accepts_ndread(self):
+        with pytest.raises(ValueError):
+            is_protected(Async(), [])
+
+
+class TestMergeBehaviour:
+    def test_notes_explain_every_decision(self):
+        result = reconcile([Taint(), NDRead("g")], replicated=True)
+        assert len(result.notes) == 2
+        assert any("Taint" in note for note in result.notes)
+        assert any("unprotected" in note for note in result.notes)
+
+    def test_empty_labels_merge_to_async(self):
+        result = reconcile([], replicated=False)
+        assert result.merged == Async()
+
+    def test_multiple_ndreads_each_reconciled(self):
+        result = reconcile([NDRead("a"), NDRead("b")], replicated=True)
+        # neither protects the other
+        assert Inst() in result.added
+        assert result.unprotected_gates == {frozenset({"a"}), frozenset({"b"})}

@@ -1,0 +1,205 @@
+"""End-to-end reproduction of the paper's Section VI case studies.
+
+These tests pin the analyzer to the exact derivations printed in the paper:
+
+* Storm word count — ``Run`` without seals, ``Async`` with ``Seal[batch]``;
+* ad-reporting — ``Async`` for THRESH, ``Diverge`` for POOR,
+  ``Async`` for CAMPAIGN once the clickstream is sealed on campaign, and
+  ``Async`` for WINDOW sealed on window.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    CR,
+    CW,
+    OR,
+    OW,
+    Dataflow,
+    FDSet,
+    LabelKind,
+    OrderStrategy,
+    SealStrategy,
+    analyze,
+    choose_strategies,
+)
+
+
+def wordcount_dataflow(*, sealed: bool) -> Dataflow:
+    flow = Dataflow("wordcount")
+    splitter = flow.add_component("Splitter")
+    splitter.add_path("tweets", "words", CR())
+    count = flow.add_component("Count")
+    count.add_path("words", "counts", OW("word", "batch"))
+    commit = flow.add_component("Commit")
+    commit.add_path("counts", "db", CW())
+    flow.add_stream(
+        "tweets", dst=("Splitter", "tweets"), seal=["batch"] if sealed else None
+    )
+    flow.add_stream("words", src=("Splitter", "words"), dst=("Count", "words"))
+    flow.add_stream("counts", src=("Count", "counts"), dst=("Commit", "counts"))
+    flow.add_stream("db", src=("Commit", "db"))
+    return flow
+
+
+# The Figure 4 dataflow builder now lives in the library proper.
+from repro.apps.ad_network import ad_network_dataflow  # noqa: E402
+
+
+class TestStormWordcount:
+    def test_unsealed_topology_exhibits_cross_run_nondeterminism(self):
+        result = analyze(wordcount_dataflow(sealed=False))
+        assert result.label_of("db").kind is LabelKind.RUN
+        # Count's state is tainted by nondeterministic input orders.
+        assert result.output("Count", "counts").tainted
+        assert "Count" in result.components_needing_coordination()
+
+    def test_unsealed_topology_gets_ordering_strategy(self):
+        result = analyze(wordcount_dataflow(sealed=False))
+        plan = choose_strategies(result)
+        strategy = plan.strategy_for("Count")
+        assert isinstance(strategy, OrderStrategy)
+        assert plan.uses_global_order
+
+    def test_sealed_topology_is_deterministic_without_coordination(self):
+        result = analyze(wordcount_dataflow(sealed=True))
+        assert result.label_of("words").kind is LabelKind.SEAL
+        assert result.label_of("counts").kind is LabelKind.ASYNC
+        assert result.label_of("db").kind is LabelKind.ASYNC
+        assert result.is_consistent
+
+    def test_sealed_topology_selects_seal_strategy_for_count(self):
+        result = analyze(wordcount_dataflow(sealed=True))
+        plan = choose_strategies(result)
+        strategy = plan.strategy_for("Count")
+        assert isinstance(strategy, SealStrategy)
+        assert ("words", frozenset({"batch"})) in strategy.partitions
+        # Sealing avoids the global ordering service entirely.
+        assert not plan.uses_global_order
+
+
+class TestAdNetwork:
+    def test_thresh_is_confluent_end_to_end(self):
+        result = analyze(ad_network_dataflow("THRESH"))
+        assert result.label_of("answers").kind is LabelKind.ASYNC
+        assert result.is_consistent
+
+    def test_poor_diverges_at_the_cache(self):
+        result = analyze(ad_network_dataflow("POOR"))
+        # Report produces cross-instance nondeterminism...
+        assert result.label_of("r").kind is LabelKind.INST
+        # ...which taints the replicated cache tier: permanent divergence.
+        assert result.label_of("answers").kind is LabelKind.DIVERGE
+        assert not result.is_consistent
+
+    def test_poor_requires_global_ordering(self):
+        result = analyze(ad_network_dataflow("POOR"))
+        plan = choose_strategies(result)
+        assert isinstance(plan.strategy_for("Report"), OrderStrategy)
+
+    def test_campaign_with_sealed_clickstream_is_consistent(self):
+        result = analyze(ad_network_dataflow("CAMPAIGN", seal=["campaign"]))
+        assert result.label_of("r").kind is LabelKind.ASYNC
+        assert result.label_of("answers").kind is LabelKind.ASYNC
+        assert result.is_consistent
+
+    def test_campaign_unsealed_diverges(self):
+        result = analyze(ad_network_dataflow("CAMPAIGN"))
+        assert result.label_of("answers").kind is LabelKind.DIVERGE
+
+    def test_window_with_sealed_clickstream_is_consistent(self):
+        result = analyze(ad_network_dataflow("WINDOW", seal=["window"]))
+        assert result.label_of("answers").kind is LabelKind.ASYNC
+
+    def test_cache_self_edge_is_the_only_cycle(self):
+        result = analyze(ad_network_dataflow("THRESH"))
+        assert result.cycles == (frozenset({"Cache"}),)
+
+    def test_report_cache_pair_forms_no_cycle(self):
+        # Footnote 3: Cache provides no path from r to q, so Report and
+        # Cache must not be collapsed together.
+        result = analyze(ad_network_dataflow("THRESH"))
+        for members in result.cycles:
+            assert members != frozenset({"Cache", "Report"})
+
+
+class TestSealStrategySelection:
+    def test_sealable_component_with_unsealed_stream_gets_order(self):
+        flow = Dataflow("sealable")
+        comp = flow.add_component("Agg", rep=True)
+        comp.add_path("in", "out", OW("k"))
+        flow.add_stream("in", dst=("Agg", "in"))
+        flow.add_stream("out", src=("Agg", "out"))
+        result = analyze(flow)
+        plan = choose_strategies(result)
+        assert isinstance(plan.strategy_for("Agg"), OrderStrategy)
+
+    def test_incompatible_seal_still_requires_ordering(self):
+        flow = Dataflow("incompatible")
+        comp = flow.add_component("Agg", rep=True)
+        comp.add_path("in", "out", OW("k"))
+        flow.add_stream("in", dst=("Agg", "in"), seal=["other"])
+        flow.add_stream("out", src=("Agg", "out"))
+        result = analyze(flow)
+        assert result.label_of("out").kind is LabelKind.DIVERGE
+        plan = choose_strategies(result)
+        assert isinstance(plan.strategy_for("Agg"), OrderStrategy)
+
+    def test_star_gate_is_never_sealable(self):
+        flow = Dataflow("star")
+        comp = flow.add_component("Mystery")
+        comp.add_path("in", "out", OW())
+        flow.add_stream("in", dst=("Mystery", "in"), seal=["k"])
+        flow.add_stream("out", src=("Mystery", "out"))
+        result = analyze(flow)
+        assert result.label_of("out").kind is LabelKind.RUN
+        plan = choose_strategies(result)
+        assert isinstance(plan.strategy_for("Mystery"), OrderStrategy)
+
+
+class TestFDCompatibility:
+    def test_injective_fd_extends_seal_compatibility(self):
+        # Paper example: company name injectively determines stock symbol.
+        fds = FDSet()
+        fds.add(["company"], ["symbol"], injective=True)
+        flow = Dataflow("tickers")
+        comp = flow.add_component("BySymbol", rep=True)
+        comp.add_path("trades", "out", OW("symbol"))
+        flow.add_stream("trades", dst=("BySymbol", "trades"), seal=["company"])
+        flow.add_stream("out", src=("BySymbol", "out"))
+        result = analyze(flow, fds)
+        assert result.label_of("out").kind is LabelKind.ASYNC
+        plan = choose_strategies(result)
+        assert isinstance(plan.strategy_for("BySymbol"), SealStrategy)
+
+    def test_noninjective_fd_does_not_extend_compatibility(self):
+        # Company determines headquarters city, but not injectively.
+        fds = FDSet()
+        fds.add(["company"], ["city"], injective=False)
+        flow = Dataflow("cities")
+        comp = flow.add_component("ByCity", rep=True)
+        comp.add_path("trades", "out", OW("city"))
+        flow.add_stream("trades", dst=("ByCity", "trades"), seal=["company"])
+        flow.add_stream("out", src=("ByCity", "out"))
+        result = analyze(flow, fds)
+        assert result.label_of("out").kind is LabelKind.DIVERGE
+
+
+@pytest.mark.parametrize(
+    "query,seal,expected",
+    [
+        ("THRESH", None, LabelKind.ASYNC),
+        ("POOR", None, LabelKind.DIVERGE),
+        ("POOR", ["campaign"], LabelKind.DIVERGE),  # OR[id]: campaign seal no help
+        ("WINDOW", None, LabelKind.DIVERGE),
+        ("WINDOW", ["window"], LabelKind.ASYNC),
+        ("CAMPAIGN", None, LabelKind.DIVERGE),
+        ("CAMPAIGN", ["campaign"], LabelKind.ASYNC),
+    ],
+)
+def test_query_matrix(query, seal, expected):
+    """The Figure 6 query matrix: coordination requirements per query."""
+    result = analyze(ad_network_dataflow(query, seal=seal))
+    assert result.label_of("answers").kind is expected

@@ -1,0 +1,117 @@
+"""Unit tests for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, lambda: fired.append("c"))
+    sim.schedule(1.0, lambda: fired.append("a"))
+    sim.schedule(2.0, lambda: fired.append("b"))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == pytest.approx(3.0)
+
+
+def test_ties_fire_in_schedule_order():
+    sim = Simulator()
+    fired = []
+    for tag in "abcde":
+        sim.schedule(1.0, lambda t=tag: fired.append(t))
+    sim.run()
+    assert fired == list("abcde")
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_cancelled_events_do_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, lambda: fired.append("x"))
+    sim.schedule(2.0, lambda: fired.append("y"))
+    handle.cancel()
+    sim.run()
+    assert fired == ["y"]
+
+
+def test_run_until_bounds_virtual_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(5.0, lambda: fired.append(5))
+    sim.run(until=2.0)
+    assert fired == [1]
+    assert sim.now == pytest.approx(2.0)
+    sim.run()
+    assert fired == [1, 5]
+
+
+def test_run_until_with_empty_queue_advances_clock():
+    sim = Simulator()
+    sim.run(until=7.5)
+    assert sim.now == pytest.approx(7.5)
+
+
+def test_events_can_schedule_events():
+    sim = Simulator()
+    fired = []
+
+    def outer():
+        fired.append("outer")
+        sim.schedule(1.0, lambda: fired.append("inner"))
+
+    sim.schedule(1.0, outer)
+    sim.run()
+    assert fired == ["outer", "inner"]
+    assert sim.now == pytest.approx(2.0)
+
+
+def test_max_events_is_a_safety_valve():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(1.0, forever)
+
+    sim.schedule(1.0, forever)
+    sim.run(max_events=25)
+    assert sim.fired == 25
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: sim.schedule_at(4.0, lambda: fired.append(sim.now)))
+    sim.run()
+    assert fired == [pytest.approx(4.0)]
+
+
+def test_determinism_same_seed_same_draws():
+    draws_a = _draw_sequence(seed=42)
+    draws_b = _draw_sequence(seed=42)
+    draws_c = _draw_sequence(seed=43)
+    assert draws_a == draws_b
+    assert draws_a != draws_c
+
+
+def _draw_sequence(seed: int) -> list[float]:
+    sim = Simulator(seed=seed)
+    draws: list[float] = []
+
+    def draw():
+        draws.append(sim.rng.random())
+        if len(draws) < 10:
+            sim.schedule(sim.rng.random(), draw)
+
+    sim.schedule(0.0, draw)
+    sim.run()
+    return draws

@@ -1,0 +1,50 @@
+"""Unit tests for fault injection."""
+
+from __future__ import annotations
+
+from repro.sim import FailureInjector, Network, Process, Simulator
+
+
+class Echo(Process):
+    def __init__(self, name):
+        super().__init__(name)
+        self.got = []
+
+    def recv(self, msg):
+        self.got.append(msg.payload)
+
+
+def build():
+    sim = Simulator(seed=1)
+    network = Network(sim)
+    a, b = Echo("a"), Echo("b")
+    network.register(a)
+    network.register(b)
+    return sim, network, a, b
+
+
+def test_crash_window_drops_messages():
+    sim, network, a, b = build()
+    injector = FailureInjector(network)
+    injector.crash_for("b", at=1.0, duration=2.0)
+    for t in (0.5, 1.5, 2.5, 3.5):
+        sim.schedule_at(t, lambda t=t: a.send("b", "data", t))
+    sim.run()
+    # messages sent at 1.5 and 2.5 land inside the crash window
+    assert all(p < 1.0 or p > 3.0 for p in b.got)
+    assert len(b.got) == 2
+    assert injector.crashes and injector.recoveries
+
+
+def test_loss_window_restores_previous_probability():
+    sim, network, a, b = build()
+    injector = FailureInjector(network)
+    injector.loss_window(at=1.0, duration=1.0, drop_prob=1.0)
+    sim.schedule_at(0.5, lambda: a.send("b", "data", "before"))
+    sim.schedule_at(1.5, lambda: a.send("b", "data", "during"))
+    sim.schedule_at(3.0, lambda: a.send("b", "data", "after"))
+    sim.run()
+    assert "before" in b.got
+    assert "during" not in b.got
+    assert "after" in b.got
+    assert network.drop_prob == 0.0

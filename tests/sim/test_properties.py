@@ -1,0 +1,117 @@
+"""Property-based tests for the simulation kernel and network."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import LatencyModel, Network, Process, Simulator
+
+
+class Sink(Process):
+    def __init__(self, name):
+        super().__init__(name)
+        self.deliveries: list[tuple[float, object]] = []
+
+    def recv(self, msg):
+        self.deliveries.append((self.now, msg.payload))
+
+
+class TestKernelProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=40))
+    def test_events_fire_in_nondecreasing_time(self, delays):
+        sim = Simulator()
+        fired: list[float] = []
+        for delay in delays:
+            sim.schedule(delay, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=10), min_size=1, max_size=20),
+        st.floats(min_value=0, max_value=12),
+    )
+    def test_run_until_never_overshoots(self, delays, until):
+        sim = Simulator()
+        for delay in delays:
+            sim.schedule(delay, lambda: None)
+        sim.run(until=until)
+        assert sim.now <= until + 1e-9
+
+    @given(st.integers(min_value=0, max_value=2**31), st.integers(1, 30))
+    def test_identical_seeds_identical_runs(self, seed, n):
+        def run(seed):
+            sim = Simulator(seed=seed)
+            values = []
+
+            def emit():
+                values.append((round(sim.now, 9), sim.rng.random()))
+                if len(values) < n:
+                    sim.schedule(sim.rng.random(), emit)
+
+            sim.schedule(0.0, emit)
+            sim.run()
+            return values
+
+        assert run(seed) == run(seed)
+
+
+class TestNetworkProperties:
+    @settings(max_examples=25)
+    @given(
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=1, max_value=40),
+    )
+    def test_lossless_network_delivers_everything(self, seed, count):
+        sim = Simulator(seed=seed)
+        network = Network(sim, latency=LatencyModel(0.001, 0.01))
+        a, b = Sink("a"), Sink("b")
+        network.register(a)
+        network.register(b)
+        sim.schedule(0.0, lambda: [a.send("b", "m", i) for i in range(count)])
+        sim.run()
+        assert sorted(payload for _, payload in b.deliveries) == list(range(count))
+        assert network.sent == count
+        assert network.delivered == count
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_conservation_sent_equals_delivered_plus_dropped(self, seed):
+        sim = Simulator(seed=seed)
+        network = Network(sim, drop_prob=0.3, latency=LatencyModel(0.001, 0.0))
+        a, b = Sink("a"), Sink("b")
+        network.register(a)
+        network.register(b)
+        sim.schedule(0.0, lambda: [a.send("b", "m", i) for i in range(100)])
+        sim.run()
+        assert network.delivered + network.dropped == network.sent
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_duplication_conservation(self, seed):
+        sim = Simulator(seed=seed)
+        network = Network(sim, dup_prob=0.3, latency=LatencyModel(0.001, 0.0))
+        a, b = Sink("a"), Sink("b")
+        network.register(a)
+        network.register(b)
+        sim.schedule(0.0, lambda: [a.send("b", "m", i) for i in range(100)])
+        sim.run()
+        assert len(b.deliveries) == 100 + network.duplicated
+
+    @settings(max_examples=10)
+    @given(st.integers(min_value=0, max_value=100))
+    def test_reliable_kinds_never_dropped(self, seed):
+        sim = Simulator(seed=seed)
+        network = Network(
+            sim, drop_prob=1.0, reliable_kinds={"ctl"},
+            latency=LatencyModel(0.001, 0.0),
+        )
+        a, b = Sink("a"), Sink("b")
+        network.register(a)
+        network.register(b)
+        sim.schedule(0.0, lambda: [a.send("b", "ctl", i) for i in range(10)])
+        sim.schedule(0.0, lambda: [a.send("b", "data", i) for i in range(10)])
+        sim.run()
+        kinds = [p for _, p in b.deliveries]
+        assert len(kinds) == 10  # only the control messages survive

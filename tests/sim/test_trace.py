@@ -1,0 +1,51 @@
+"""Unit tests for execution traces."""
+
+from __future__ import annotations
+
+from repro.sim import Trace
+from repro.sim.trace import merge_traces
+
+
+def make_trace():
+    trace = Trace()
+    trace.record(0.5, "a", "processed", 1)
+    trace.record(1.5, "a", "processed", 2)
+    trace.record(1.6, "b", "processed", 3)
+    trace.record(2.5, "b", "sent", 4)
+    return trace
+
+
+def test_count_and_select():
+    trace = make_trace()
+    assert trace.count("processed") == 3
+    assert trace.count("sent") == 1
+    assert len(trace.select(source="a")) == 2
+    assert len(trace.select(event="processed", source="b")) == 1
+    assert len(trace.select(predicate=lambda r: r.data and r.data > 2)) == 2
+
+
+def test_timeline_is_cumulative():
+    trace = make_trace()
+    series = trace.timeline("processed", bucket=1.0)
+    assert series[0] == (1.0, 1)
+    assert series[1] == (2.0, 3)
+    assert series[-1][1] == 3
+
+
+def test_timeline_empty_event():
+    assert make_trace().timeline("nope") == []
+
+
+def test_first_and_last():
+    trace = make_trace()
+    assert trace.first("processed").data == 1
+    assert trace.last("processed").data == 3
+    assert trace.first("nope") is None
+
+
+def test_merge_traces_orders_by_time():
+    t1, t2 = Trace(), Trace()
+    t1.record(2.0, "x", "e")
+    t2.record(1.0, "y", "e")
+    merged = merge_traces([t1, t2])
+    assert [r.source for r in merged] == ["y", "x"]

@@ -1,0 +1,88 @@
+"""Unit tests for topology declaration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StormError
+from repro.storm import Bolt, Fields, Spout, TopologyBuilder
+
+
+class DummySpout(Spout):
+    output_fields = Fields("x")
+
+    def next_batch(self, batch_id):
+        return None
+
+
+class DummyBolt(Bolt):
+    output_fields = Fields("y")
+
+    def execute(self, tup, emit):
+        emit((tup[0],))
+
+
+def test_builder_wires_groupings():
+    builder = TopologyBuilder("t")
+    builder.set_spout("src", DummySpout)
+    builder.set_bolt("a", DummyBolt, parallelism=2).shuffle_grouping("src")
+    builder.set_bolt("b", DummyBolt).fields_grouping("a", "y")
+    topology = builder.build()
+    assert topology.spouts == ("src",)
+    assert set(topology.bolts) == {"a", "b"}
+    consumers = topology.consumers_of("a")
+    assert consumers[0][0] == "b"
+    assert consumers[0][1].mode == "fields"
+    assert consumers[0][1].fields == ("y",)
+
+
+def test_duplicate_component_rejected():
+    builder = TopologyBuilder()
+    builder.set_spout("x", DummySpout)
+    with pytest.raises(StormError):
+        builder.set_bolt("x", DummyBolt)
+
+
+def test_bolt_without_grouping_rejected():
+    builder = TopologyBuilder()
+    builder.set_spout("src", DummySpout)
+    builder.set_bolt("lonely", DummyBolt)
+    with pytest.raises(StormError):
+        builder.build()
+
+
+def test_unknown_grouping_source_rejected():
+    builder = TopologyBuilder()
+    builder.set_spout("src", DummySpout)
+    builder.set_bolt("a", DummyBolt).shuffle_grouping("ghost")
+    with pytest.raises(StormError):
+        builder.build()
+
+
+def test_fields_grouping_requires_fields():
+    from repro.storm.topology import Grouping
+
+    with pytest.raises(StormError):
+        Grouping("src", "fields")
+
+
+def test_unknown_grouping_mode_rejected():
+    from repro.storm.topology import Grouping
+
+    with pytest.raises(StormError):
+        Grouping("src", "teleport")
+
+
+def test_parallelism_must_be_positive():
+    builder = TopologyBuilder()
+    with pytest.raises(StormError):
+        builder.set_spout("src", DummySpout, parallelism=0)
+
+
+def test_fields_schema_projection():
+    fields = Fields("a", "b", "c")
+    assert fields.project((1, 2, 3), ("c", "a")) == (3, 1)
+    with pytest.raises(StormError):
+        fields.index_of("z")
+    with pytest.raises(StormError):
+        Fields("a", "a")

@@ -1,0 +1,119 @@
+"""Tests for the ``blazes`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SPEC = """
+name: wc
+components:
+  Splitter:
+    annotations: [{ from: tweets, to: words, label: CR }]
+  Count:
+    annotations:
+      - { from: words, to: counts, label: OW, subscript: [word, batch] }
+  Commit:
+    annotations: [{ from: counts, to: db, label: CW }]
+streams:
+  - { name: tweets, to: Splitter.tweets%SEAL% }
+  - { name: words, from: Splitter.words, to: Count.words }
+  - { name: counts, from: Count.counts, to: Commit.counts }
+  - { name: db, from: Commit.db }
+"""
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    def write(sealed: bool):
+        seal = ", seal: [batch]" if sealed else ""
+        path = tmp_path / "wc.yaml"
+        path.write_text(SPEC.replace("%SEAL%", seal))
+        return str(path)
+
+    return write
+
+
+def test_analyze_consistent_spec_exits_zero(spec_file, capsys):
+    assert main(["analyze", spec_file(sealed=True)]) == 0
+    out = capsys.readouterr().out
+    assert "consistent without coordination" in out
+
+
+def test_analyze_inconsistent_spec_exits_two(spec_file, capsys):
+    assert main(["analyze", spec_file(sealed=False)]) == 2
+    out = capsys.readouterr().out
+    assert "Run" in out
+
+
+def test_analyze_derivations_flag(spec_file, capsys):
+    assert main(["analyze", spec_file(sealed=True), "--derivations"]) == 0
+    out = capsys.readouterr().out
+    assert "(p)" in out
+
+
+def test_plan_prints_strategies(spec_file, capsys):
+    assert main(["plan", spec_file(sealed=True)]) == 0
+    out = capsys.readouterr().out
+    assert "seal-based coordination at Count" in out
+
+
+def test_missing_spec_is_a_clean_error(tmp_path, capsys):
+    bad = tmp_path / "broken.yaml"
+    bad.write_text("components: {}\nstreams: []")
+    assert main(["analyze", str(bad)]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_lint_clean_spec(spec_file, capsys):
+    assert main(["lint", spec_file(sealed=True)]) == 0
+    assert "no design-pattern findings" in capsys.readouterr().out
+
+
+def test_lint_reports_findings(tmp_path, capsys):
+    spec = tmp_path / "bad.yaml"
+    spec.write_text(
+        """
+components:
+  Agg:
+    rep: true
+    annotations: [{ from: i, to: o, label: OW, subscript: [k] }]
+streams:
+  - { name: i, to: Agg.i }
+  - { name: o, from: Agg.o }
+"""
+    )
+    assert main(["lint", str(spec)]) == 3
+    assert "replicated-nonconfluent" in capsys.readouterr().out
+
+
+def test_wordcount_subcommand(capsys):
+    assert main([
+        "wordcount", "--workers", "2", "--batches", "3", "--batch-size", "10",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "batches acked : 3" in out
+    assert "throughput" in out
+
+
+def test_adreport_subcommand(capsys):
+    assert main([
+        "adreport", "--strategy", "independent-seal", "--servers", "2",
+        "--entries", "60",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "records processed : 120" in out
+    assert "replicas agree    : True" in out
+
+
+def test_parser_rejects_unknown_strategy():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["adreport", "--strategy", "chaos"])
+
+
+def test_version_flag():
+    with pytest.raises(SystemExit) as excinfo:
+        build_parser().parse_args(["--version"])
+    assert excinfo.value.code == 0
