@@ -1,0 +1,5 @@
+"""Figure-reproduction benchmarks (see benchmarks/README.md).
+
+A package so the scripts can be run as modules from the repo root, e.g.
+``PYTHONPATH=src python -m benchmarks.bench_fig11_wordcount_throughput``.
+"""

@@ -1,8 +1,19 @@
-"""Shared harness for the Figures 12-14 ad-reporting experiments."""
+"""Shared harness for the Figures 12-14 ad-reporting experiments.
+
+Figures 12 and 13 run through :mod:`repro.bench` (scenario sweep over
+delivery strategies, one ``BENCH_fig12/13.json`` each); Figure 14 still
+uses the raw :func:`run_strategies` helper because it inspects per-record
+release times rather than summary metrics.
+"""
 
 from __future__ import annotations
 
+import functools
+
 from repro.apps.ad_network import AdWorkload, run_ad_network
+from repro.bench import BenchReport, JsonReporter, Scenario, run_bench
+
+SERIES_BUCKET = 0.25
 
 
 def workload_for(servers: int) -> AdWorkload:
@@ -23,6 +34,24 @@ def workload_for(servers: int) -> AdWorkload:
     )
 
 
+def smoke_workload_for(servers: int) -> AdWorkload:
+    """A CI-sized variant: same structure, a fraction of the records.
+
+    Campaigns scale with the cluster so the independent-seal placement
+    (campaign ``c`` mastered at server ``c % servers``) leaves no server
+    without a campaign to produce.
+    """
+    return AdWorkload(
+        ad_servers=servers,
+        entries_per_server=80,
+        batch_size=20,
+        sleep=0.1,
+        campaigns=max(8, servers),
+        requests=4,
+        report_replicas=2,
+    )
+
+
 def run_strategies(servers: int, strategies, seed: int = 7):
     workload = workload_for(servers)
     results = {}
@@ -33,32 +62,114 @@ def run_strategies(servers: int, strategies, seed: int = 7):
     return workload, results
 
 
-def print_series(results, workload, *, bucket: float) -> None:
-    """Print the Figures 12-14 data: records processed over time."""
-    strategies = list(results)
-    horizon = max(r.completion_time for r in results.values())
-    print(f"{'time(s)':>8} " + " ".join(f"{s:>18}" for s in strategies))
-    edge = bucket
-    series = {
-        s: dict(results[s].processed_series(bucket=bucket)) for s in strategies
+# ----------------------------------------------------------------------
+# repro.bench integration (Figures 12 and 13)
+# ----------------------------------------------------------------------
+def measure_strategy(
+    servers: int, strategy: str, smoke: bool = False, seed: int = 7
+) -> dict:
+    """One (cluster size, strategy) point as a JSON-able metric mapping.
+
+    Cached so the fig13 scaling comparison can reuse fig12's 5-server
+    points without re-simulating them.  This wrapper normalizes defaults
+    into a full positional key, so every call arity shares one cache slot.
+    """
+    return _measure_strategy_cached(servers, strategy, smoke, seed)
+
+
+@functools.lru_cache(maxsize=None)
+def _measure_strategy_cached(
+    servers: int, strategy: str, smoke: bool, seed: int
+) -> dict:
+    workload = (smoke_workload_for if smoke else workload_for)(servers)
+    result = run_ad_network(strategy, workload=workload, seed=seed, workload_seed=seed)
+    return {
+        "completion_time": result.completion_time,
+        "processed": result.processed_count(),
+        "total_entries": workload.total_entries,
+        "replicas_agree": result.replicas_agree,
+        "registry_lookups": result.registry_lookups,
+        # immutable: this dict is served from the cache to several tests,
+        # and run_bench's dict(metrics) copy is shallow
+        "series": tuple(result.processed_series(bucket=SERIES_BUCKET)),
     }
+
+
+def run_adreport_bench(
+    name: str, servers: int, strategies, *, smoke: bool = False
+) -> BenchReport:
+    """Sweep the delivery strategies at one cluster size; write the JSON."""
+    scenarios = [
+        Scenario(strategy, {"servers": servers, "strategy": strategy, "smoke": smoke})
+        for strategy in strategies
+    ]
+
+    def fn(*, servers: int, strategy: str, smoke: bool) -> dict:
+        return measure_strategy(servers, strategy, smoke)
+
+    return run_bench(name, scenarios, fn, reporter=JsonReporter())
+
+
+def _print_bucket_table(
+    series: dict[str, list[tuple[float, int]]],
+    footer: dict[str, tuple[float, bool]],
+    *,
+    bucket: float,
+) -> None:
+    """The Figures 12-14 renderer: cumulative counts per bucket edge.
+
+    ``series`` maps strategy to sorted ``(time, cumulative_count)``
+    points; ``footer`` maps strategy to ``(completion_time,
+    replicas_agree)``.  Values carry forward between points.
+    """
+    strategies = list(series)
+    horizon = max(
+        (points[-1][0] for points in series.values() if points),
+        default=0.0,
+    )
+    print(f"{'time(s)':>8} " + " ".join(f"{s:>18}" for s in strategies))
+    cursor = {strategy: 0 for strategy in strategies}
+    counts = {strategy: 0 for strategy in strategies}
+    edge = bucket
     while edge <= horizon + bucket:
         row = [f"{edge:>8.2f}"]
         for strategy in strategies:
-            timeline = series[strategy]
-            # cumulative count at this bucket edge (carry the last value)
-            count = 0
-            for t, c in sorted(timeline.items()):
-                if t <= edge + 1e-9:
-                    count = c
-                else:
-                    break
-            row.append(f"{count:>18d}")
+            # advance to this bucket edge, carrying the last value
+            points = series[strategy]
+            index = cursor[strategy]
+            while index < len(points) and points[index][0] <= edge + 1e-9:
+                counts[strategy] = points[index][1]
+                index += 1
+            cursor[strategy] = index
+            row.append(f"{counts[strategy]:>18d}")
         print(" ".join(row))
         edge += bucket
     print()
     print(f"{'strategy':<20} {'completion(s)':>14} {'replicas agree':>15}")
     for strategy in strategies:
-        result = results[strategy]
-        print(f"{strategy:<20} {result.completion_time:>14.2f} "
-              f"{str(result.replicas_agree):>15}")
+        completion, agree = footer[strategy]
+        print(f"{strategy:<20} {completion:>14.2f} {str(agree):>15}")
+
+
+def print_report_series(report: BenchReport, *, bucket: float) -> None:
+    """Print the Figures 12-13 data from a report's stored series."""
+    _print_bucket_table(
+        {
+            result.name: sorted(tuple(point) for point in result["series"])
+            for result in report
+        },
+        {
+            result.name: (result["completion_time"], result["replicas_agree"])
+            for result in report
+        },
+        bucket=bucket,
+    )
+
+
+def print_series(results, workload, *, bucket: float) -> None:
+    """Print the Figures 12-14 data from raw :func:`run_strategies` results."""
+    _print_bucket_table(
+        {s: sorted(results[s].processed_series(bucket=bucket)) for s in results},
+        {s: (results[s].completion_time, results[s].replicas_agree) for s in results},
+        bucket=bucket,
+    )

@@ -6,50 +6,196 @@ Zookeeper) and as the sealed topology Blazes certifies.  The paper's
 shape: the sealed topology outperforms by ~1.8x at 5 workers, growing to
 ~3x at 20, because the serialized commit cycle cannot use the extra
 workers.
+
+A second sweep exercises the executor's scaling path: channel frame size
+(tuples coalesced per simulated message) crossed with per-component
+parallelism overrides.  Frames only fill when enough tuples share a
+channel, so this sweep uses a larger spout batch than the throughput
+sweep; the headline metric is ``messages_sent`` — frame size >= 16 must
+cut simulated message events by >= 5x at identical committed output.
+
+Run it through the ``repro.bench`` harness::
+
+    PYTHONPATH=src python benchmarks/bench_fig11_wordcount_throughput.py
+
+which writes ``BENCH_fig11.json`` (to ``$REPRO_BENCH_DIR`` or the cwd),
+or with pytest for the paper-shape assertions::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_fig11_wordcount_throughput.py -s
 """
 
 from __future__ import annotations
 
+import functools
+import sys
+
 from repro.apps.wordcount import run_wordcount
+from repro.bench import BenchReport, JsonReporter, run_bench, sweep
 
 CLUSTER_SIZES = (5, 10, 15, 20)
 BATCHES_PER_SPOUT = 4
 BATCH_SIZE = 30
 
+BATCHING_WORKERS = 4
+BATCHING_BATCHES = 8
+BATCHING_BATCH_SIZE = 120
+FRAME_SIZES = (1, 16, 64)
+PARALLELISM_SCALES = (1, 2)
 
-def sweep():
-    rows = []
-    for workers in CLUSTER_SIZES:
-        # offered load scales with the cluster, as a real stream would:
-        # each spout task contributes the same number of batches
-        spouts = max(1, workers // 2)
-        batches = BATCHES_PER_SPOUT * spouts
-        sealed, _ = run_wordcount(
-            workers=workers, total_batches=batches, batch_size=BATCH_SIZE,
-            transactional=False,
-        )
-        txn, _ = run_wordcount(
-            workers=workers, total_batches=batches, batch_size=BATCH_SIZE,
-            transactional=True,
-        )
-        rows.append((workers, sealed.throughput, txn.throughput))
-    return rows
+SMOKE_OVERRIDES = {
+    "cluster_sizes": (2, 4),
+    "batches_per_spout": 2,
+    "batch_size": 10,
+    "batching_batch_size": 40,
+    "frame_sizes": (1, 16),
+    "parallelism_scales": (1, 2),
+}
 
 
-def test_fig11_throughput_vs_cluster_size(benchmark):
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+def scenarios(smoke: bool = False) -> list:
+    sizes = SMOKE_OVERRIDES["cluster_sizes"] if smoke else CLUSTER_SIZES
+    frames = SMOKE_OVERRIDES["frame_sizes"] if smoke else FRAME_SIZES
+    scales = SMOKE_OVERRIDES["parallelism_scales"] if smoke else PARALLELISM_SCALES
+    return sweep(
+        "{mode}-w{workers}",
+        {
+            "kind": ("throughput",),
+            "smoke": (smoke,),
+            "workers": sizes,
+            "mode": ("sealed", "transactional"),
+        },
+    ) + sweep(
+        "batching-f{frame_size}-x{scale}",
+        {
+            "kind": ("batching",),
+            "smoke": (smoke,),
+            "frame_size": frames,
+            "scale": scales,
+        },
+    )
+
+
+def measure(*, kind: str, smoke: bool = False, **params) -> dict:
+    if kind == "throughput":
+        return _measure_throughput(smoke=smoke, **params)
+    return _measure_batching(smoke=smoke, **params)
+
+
+def _measure_throughput(*, workers: int, mode: str, smoke: bool) -> dict:
+    # offered load scales with the cluster, as a real stream would:
+    # each spout task contributes the same number of batches
+    per_spout = SMOKE_OVERRIDES["batches_per_spout"] if smoke else BATCHES_PER_SPOUT
+    batch_size = SMOKE_OVERRIDES["batch_size"] if smoke else BATCH_SIZE
+    spouts = max(1, workers // 2)
+    metrics, _cluster = run_wordcount(
+        workers=workers,
+        total_batches=per_spout * spouts,
+        batch_size=batch_size,
+        transactional=mode == "transactional",
+    )
+    return {
+        "throughput": metrics.throughput,
+        "batches_acked": metrics.batches_acked,
+        "mean_batch_latency": metrics.mean_batch_latency,
+        "messages_sent": metrics.messages_sent,
+    }
+
+
+def _measure_batching(*, frame_size: int, scale: int, smoke: bool) -> dict:
+    batch_size = SMOKE_OVERRIDES["batching_batch_size"] if smoke else BATCHING_BATCH_SIZE
+    metrics, _cluster = run_wordcount(
+        workers=BATCHING_WORKERS,
+        total_batches=BATCHING_BATCHES,
+        batch_size=batch_size,
+        frame_size=frame_size,
+        parallelism={
+            "Splitter": BATCHING_WORKERS * scale,
+            "Count": BATCHING_WORKERS * scale,
+        },
+    )
+    return {
+        "throughput": metrics.throughput,
+        "batches_acked": metrics.batches_acked,
+        "messages_sent": metrics.messages_sent,
+        "frames_sent": metrics.frames_sent,
+        "items_sent": metrics.items_sent,
+        "batching_factor": metrics.items_sent / max(1, metrics.frames_sent),
+    }
+
+
+def run_fig11(smoke: bool = False) -> BenchReport:
+    """The full figure sweep; writes ``BENCH_fig11.json`` as it finishes.
+
+    Smoke runs write ``BENCH_fig11-smoke.json`` so they never clobber a
+    full-scale record in the same directory.  Defaults are normalized
+    into the cached call so every call arity shares one sweep.
+    """
+    return _run_fig11_cached(smoke)
+
+
+@functools.lru_cache(maxsize=None)
+def _run_fig11_cached(smoke: bool) -> BenchReport:
+    name = "fig11-smoke" if smoke else "fig11"
+    return run_bench(name, scenarios(smoke), measure, reporter=JsonReporter())
+
+
+def print_report(report: BenchReport) -> None:
     print()
     print("Figure 11 — throughput (tuples/s, simulated) vs cluster size")
     print(f"{'workers':>8} {'sealed':>12} {'transactional':>14} {'ratio':>7}")
+    workers = sorted({r.params["workers"] for r in report.select(kind="throughput")})
+    for count in workers:
+        sealed = report.one(kind="throughput", workers=count, mode="sealed")
+        txn = report.one(kind="throughput", workers=count, mode="transactional")
+        ratio = sealed["throughput"] / txn["throughput"]
+        print(
+            f"{count:>8} {sealed['throughput']:>12,.0f} "
+            f"{txn['throughput']:>14,.0f} {ratio:>6.2f}x"
+        )
+    print()
+    print("Scaling path — frame size x parallelism (messages_sent)")
+    batching = BenchReport(report.name, report.select(kind="batching"))
+    print(batching.table("messages_sent", "batching_factor", "throughput"))
+
+
+def test_fig11_throughput_vs_cluster_size():
+    report = run_fig11()
+    print_report(report)
     ratios = []
-    for workers, sealed_tps, txn_tps in rows:
-        ratio = sealed_tps / txn_tps
-        ratios.append((workers, ratio))
-        print(f"{workers:>8} {sealed_tps:>12,.0f} {txn_tps:>14,.0f} {ratio:>6.2f}x")
+    sealed_tps = []
+    for count in CLUSTER_SIZES:
+        sealed = report.one(kind="throughput", workers=count, mode="sealed")
+        txn = report.one(kind="throughput", workers=count, mode="transactional")
+        ratios.append(sealed["throughput"] / txn["throughput"])
+        sealed_tps.append(sealed["throughput"])
     # Paper shape: sealed always wins, and the gap grows with cluster size.
-    for _workers, ratio in ratios:
+    for ratio in ratios:
         assert ratio > 1.3
-    assert ratios[-1][1] > ratios[0][1], "gap should grow with cluster size"
+    assert ratios[-1] > ratios[0], "gap should grow with cluster size"
     # Sealed throughput scales with workers; transactional plateaus.
-    sealed_by_size = [row[1] for row in rows]
-    assert sealed_by_size[-1] > sealed_by_size[0] * 1.5
+    assert sealed_tps[-1] > sealed_tps[0] * 1.5
+
+
+def test_fig11_batched_delivery_cuts_message_events():
+    report = run_fig11()
+    for scale in PARALLELISM_SCALES:
+        unbatched = report.one(kind="batching", frame_size=1, scale=scale)
+        batched = report.one(kind="batching", frame_size=16, scale=scale)
+        # equal committed output...
+        assert batched["batches_acked"] == unbatched["batches_acked"]
+        assert batched["items_sent"] == unbatched["items_sent"]
+        # ...with >= 5x fewer simulated message events
+        reduction = unbatched["messages_sent"] / batched["messages_sent"]
+        assert reduction >= 5.0, f"scale {scale}: only {reduction:.1f}x"
+
+
+def main(argv: list[str] | None = None) -> None:
+    smoke = "--smoke" in (argv if argv is not None else sys.argv[1:])
+    report = run_fig11(smoke=smoke)
+    print_report(report)
+    print()
+    print(f"wrote {JsonReporter().path_for(report.name)}")
+
+
+if __name__ == "__main__":
+    main()

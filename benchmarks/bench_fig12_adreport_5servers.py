@@ -5,28 +5,60 @@ ordered (Zookeeper total order), independent seal (one producer per
 campaign), and seal (all producers per campaign).  The paper's shape:
 ordering is far slower; both seal variants closely track the
 uncoordinated baseline.
+
+Run through the ``repro.bench`` harness::
+
+    PYTHONPATH=src python -m benchmarks.bench_fig12_adreport_5servers
+
+which writes ``BENCH_fig12.json`` (to ``$REPRO_BENCH_DIR`` or the cwd).
 """
 
 from __future__ import annotations
 
-from benchmarks._adreport import print_series, run_strategies
+import functools
+import sys
+
+from benchmarks._adreport import print_report_series, run_adreport_bench
+from repro.bench import JsonReporter
 
 STRATEGIES = ("uncoordinated", "ordered", "independent-seal", "seal")
+SERVERS = 5
 
 
-def test_fig12_adreport_5_servers(benchmark):
-    workload, results = benchmark.pedantic(
-        run_strategies, args=(5, STRATEGIES), rounds=1, iterations=1
-    )
+def run_fig12(smoke: bool = False):
+    return _run_fig12_cached(smoke)
+
+
+@functools.lru_cache(maxsize=None)
+def _run_fig12_cached(smoke: bool):
+    name = "fig12-smoke" if smoke else "fig12"
+    return run_adreport_bench(name, SERVERS, STRATEGIES, smoke=smoke)
+
+
+def test_fig12_adreport_5_servers():
+    report = run_fig12()
     print()
     print("Figure 12 — processed log records over time, 5 ad servers")
-    print_series(results, workload, bucket=0.5)
+    print_report_series(report, bucket=0.5)
 
-    base = results["uncoordinated"].completion_time
-    assert results["ordered"].completion_time > 2.0 * base
-    assert results["seal"].completion_time < 1.5 * base
-    assert results["independent-seal"].completion_time < 1.5 * base
-    for result in results.values():
-        assert result.processed_count() == workload.total_entries
-    assert results["ordered"].replicas_agree
-    assert results["seal"].replicas_agree
+    base = report.row("uncoordinated")["completion_time"]
+    assert report.row("ordered")["completion_time"] > 2.0 * base
+    assert report.row("seal")["completion_time"] < 1.5 * base
+    assert report.row("independent-seal")["completion_time"] < 1.5 * base
+    for result in report:
+        assert result["processed"] == result["total_entries"]
+    assert report.row("ordered")["replicas_agree"]
+    assert report.row("seal")["replicas_agree"]
+
+
+def main(argv: list[str] | None = None) -> None:
+    smoke = "--smoke" in (argv if argv is not None else sys.argv[1:])
+    report = run_fig12(smoke=smoke)
+    print("Figure 12 — processed log records over time, 5 ad servers")
+    print_report_series(report, bucket=0.5)
+    print()
+    print(f"wrote {JsonReporter().path_for(report.name)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,47 +5,84 @@ runs (they scale out), but inflates the ordered run's completion time
 substantially — the sequencer's serialized quorum writes are the
 bottleneck, and doubling offered load compounds queueing delay
 (the paper reports a ~3x increase).
+
+Run through the ``repro.bench`` harness::
+
+    PYTHONPATH=src python -m benchmarks.bench_fig13_adreport_10servers
+
+which writes ``BENCH_fig13.json`` (to ``$REPRO_BENCH_DIR`` or the cwd).
 """
 
 from __future__ import annotations
 
-from benchmarks._adreport import print_series, run_strategies, workload_for
+import functools
+import sys
+
+from benchmarks._adreport import (
+    measure_strategy,
+    print_report_series,
+    run_adreport_bench,
+)
+from repro.bench import JsonReporter
 
 STRATEGIES = ("uncoordinated", "ordered", "independent-seal", "seal")
+SERVERS = 10
 
 
-def test_fig13_adreport_10_servers(benchmark):
-    workload, results = benchmark.pedantic(
-        run_strategies, args=(10, STRATEGIES), rounds=1, iterations=1
-    )
+def run_fig13(smoke: bool = False):
+    return _run_fig13_cached(smoke)
+
+
+@functools.lru_cache(maxsize=None)
+def _run_fig13_cached(smoke: bool):
+    name = "fig13-smoke" if smoke else "fig13"
+    return run_adreport_bench(name, SERVERS, STRATEGIES, smoke=smoke)
+
+
+def test_fig13_adreport_10_servers():
+    report = run_fig13()
     print()
     print("Figure 13 — processed log records over time, 10 ad servers")
-    print_series(results, workload, bucket=1.0)
+    print_report_series(report, bucket=1.0)
 
-    base = results["uncoordinated"].completion_time
-    assert results["ordered"].completion_time > 3.0 * base
-    assert results["seal"].completion_time < 1.5 * base
-    for result in results.values():
-        assert result.processed_count() == workload.total_entries
+    base = report.row("uncoordinated")["completion_time"]
+    assert report.row("ordered")["completion_time"] > 3.0 * base
+    assert report.row("seal")["completion_time"] < 1.5 * base
+    for result in report:
+        assert result["processed"] == result["total_entries"]
 
 
-def test_fig13_scaling_vs_fig12(benchmark):
-    """The scaling comparison the paper calls out explicitly."""
+def test_fig13_scaling_vs_fig12():
+    """The scaling comparison the paper calls out explicitly.
 
-    def both():
-        _w5, five = run_strategies(5, ("uncoordinated", "ordered"))
-        _w10, ten = run_strategies(10, ("uncoordinated", "ordered"))
-        return five, ten
-
-    five, ten = benchmark.pedantic(both, rounds=1, iterations=1)
+    ``measure_strategy`` is cached, so the 10-server points are shared
+    with :func:`test_fig13_adreport_10_servers` and the 5-server points
+    with the fig12 sweep when both run in one session.
+    """
     unc_growth = (
-        ten["uncoordinated"].completion_time
-        / five["uncoordinated"].completion_time
+        measure_strategy(10, "uncoordinated")["completion_time"]
+        / measure_strategy(5, "uncoordinated")["completion_time"]
     )
-    ord_growth = ten["ordered"].completion_time / five["ordered"].completion_time
+    ord_growth = (
+        measure_strategy(10, "ordered")["completion_time"]
+        / measure_strategy(5, "ordered")["completion_time"]
+    )
     print()
     print("Scaling 5 -> 10 ad servers (completion-time growth)")
     print(f"  uncoordinated: {unc_growth:.2f}x   (paper: little effect)")
     print(f"  ordered      : {ord_growth:.2f}x   (paper: ~3x)")
     assert unc_growth < 1.5
     assert ord_growth > 1.6
+
+
+def main(argv: list[str] | None = None) -> None:
+    smoke = "--smoke" in (argv if argv is not None else sys.argv[1:])
+    report = run_fig13(smoke=smoke)
+    print("Figure 13 — processed log records over time, 10 ad servers")
+    print_report_series(report, bucket=1.0)
+    print()
+    print(f"wrote {JsonReporter().path_for(report.name)}")
+
+
+if __name__ == "__main__":
+    main()

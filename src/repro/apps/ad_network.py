@@ -32,6 +32,7 @@ from collections.abc import Iterable
 from repro.apps.queries import make_report_module
 from repro.bloom.cluster import INSERT_MSG, BloomCluster, BloomNode
 from repro.bloom.rewrite import OrderedInputAdapter, SealedInputAdapter
+from repro.coord.assignment import ReplicaAssignment
 from repro.coord.sealing import SealedStreamProducer
 from repro.coord.zookeeper import ZkClient, install_zookeeper
 from repro.errors import SimulationError
@@ -53,7 +54,14 @@ CLICK_STREAM = "click"
 
 @dataclasses.dataclass(frozen=True)
 class AdWorkload:
-    """Workload parameters (paper Section VIII-B defaults)."""
+    """Workload parameters (paper Section VIII-B defaults).
+
+    ``producer_replicas`` scales each ad server out into that many
+    protocol-level producer tasks for the sealed click stream: campaigns
+    hash-partition across a server's replicas, and the seal registry's
+    producer sets are derived from the resulting replica assignment
+    instead of assuming one task per server.
+    """
 
     ad_servers: int = 5
     entries_per_server: int = 1000
@@ -63,6 +71,7 @@ class AdWorkload:
     ads_per_campaign: int = 5
     requests: int = 12
     report_replicas: int = 3
+    producer_replicas: int = 1
 
     @property
     def total_entries(self) -> int:
@@ -129,17 +138,28 @@ class AdServer(Process):
         report_nodes: list[str],
         seed: int,
         interleave: bool = False,
+        assignment: ReplicaAssignment | None = None,
     ) -> None:
         super().__init__(name)
         self.workload = workload
         self.strategy = strategy
         self.report_nodes = report_nodes
         self.zk = ZkClient(self) if strategy == "ordered" else None
-        self._producers: dict[str, SealedStreamProducer] = {}
+        # This process hosts one protocol-level producer per replica task
+        # of its component, per reporting node; the replica a campaign's
+        # records flow through is fixed by the shared assignment, so the
+        # seal registry's producer sets match what actually gets sealed.
+        self.assignment = assignment or ReplicaAssignment(
+            {name: 1}, collapse_single=True
+        )
+        self._producers: dict[tuple[str, str], SealedStreamProducer] = {}
         if strategy in ("seal", "independent-seal"):
             self._producers = {
-                node: SealedStreamProducer(self, CLICK_STREAM)
+                (node, task): SealedStreamProducer(
+                    self, CLICK_STREAM, producer_id=task
+                )
                 for node in report_nodes
+                for task in self.assignment.tasks_of(name)
             }
         self._entries = self._plan_entries(campaigns, seed, interleave)
         self._last_index = {
@@ -152,6 +172,12 @@ class AdServer(Process):
         self, campaigns: list[int], seed: int, interleave: bool
     ) -> list[tuple]:
         """Lay out the server's click records."""
+        if not campaigns:
+            # emitting nothing would silently break workload.total_entries
+            raise SimulationError(
+                f"ad server {self.name} produces no campaigns; "
+                f"an independent-seal placement needs campaigns >= ad_servers"
+            )
         rng = random.Random(f"adserver:{self.name}:{seed}")
         per_campaign = self.workload.entries_per_server // len(campaigns)
         extra = self.workload.entries_per_server - per_campaign * len(campaigns)
@@ -184,7 +210,7 @@ class AdServer(Process):
             self.after(self.workload.sleep, self._burst)
         elif self._producers:
             # punctuate anything still open (defensive; boundaries cover it)
-            for node, producer in self._producers.items():
+            for (node, _task), producer in self._producers.items():
                 producer.seal_all(node)
 
     def _campaign_boundaries(self, start: int, end: int) -> list[str]:
@@ -205,11 +231,16 @@ class AdServer(Process):
             self.zk.submit(ORDER_TOPIC, ("click", row))
         else:  # seal strategies
             campaign = row[0]
-            for node, producer in self._producers.items():
-                producer.send_record(node, campaign, row)
+            task = self.assignment.task_for(self.name, campaign)
+            for node in self.report_nodes:
+                self._producers[(node, task)].send_record(node, campaign, row)
 
     def _seal_campaign(self, campaign: str) -> None:
-        for node, producer in self._producers.items():
+        if not self._producers:
+            return
+        task = self.assignment.task_for(self.name, campaign)
+        for node in self.report_nodes:
+            producer = self._producers[(node, task)]
             if campaign not in producer.sealed_partitions:
                 producer.seal(node, campaign)
 
@@ -316,6 +347,14 @@ def run_ad_network(
     if strategy not in STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r}; have {STRATEGIES}")
     workload = workload or AdWorkload()
+    if strategy == "independent-seal" and workload.campaigns < workload.ad_servers:
+        # campaign c is mastered at server c % ad_servers, so fewer
+        # campaigns than servers would leave idle servers and a workload
+        # whose total_entries overstates the offered load
+        raise SimulationError(
+            f"independent-seal needs campaigns >= ad_servers "
+            f"(got {workload.campaigns} < {workload.ad_servers})"
+        )
     workload_seed = seed if workload_seed is None else workload_seed
     cluster = BloomCluster(seed=seed, latency=LatencyModel(base=0.002, jitter=0.004))
 
@@ -326,6 +365,14 @@ def run_ad_network(
     zk = install_zookeeper(cluster.network, write_service=zk_write_service) if needs_zk else None
 
     campaign_producers = _campaign_assignment(strategy, workload, server_names)
+    # Expand component-level producer sets to task-level sets using the
+    # actual replica layout — with one replica per server this degenerates
+    # to the bare server names the paper's description assumes.
+    replicas = ReplicaAssignment(
+        {name: workload.producer_replicas for name in server_names},
+        collapse_single=True,
+    )
+    producer_sets = replicas.producer_sets(campaign_producers)
 
     # Reporting replicas with their delivery policy.
     adapters = []
@@ -348,7 +395,7 @@ def run_ad_network(
             )
 
     if zk is not None:
-        for campaign, producers in campaign_producers.items():
+        for campaign, producers in producer_sets.items():
             zk.preload_znode(f"producers/{campaign!r}", sorted(producers))
 
     # Ad servers.
@@ -370,6 +417,7 @@ def run_ad_network(
             # servers (contiguous emission); every other placement spreads
             # ads by serving locality, interleaving campaigns in time
             interleave=strategy != "independent-seal",
+            assignment=replicas,
         )
         cluster.network.register(server)
 

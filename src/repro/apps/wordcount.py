@@ -225,6 +225,8 @@ def run_wordcount(
     drop_prob: float = 0.0,
     replay_timeout: float | None = None,
     max_events: int | None = None,
+    frame_size: int = 1,
+    parallelism: dict[str, int] | None = None,
 ) -> tuple[RunMetrics, StormCluster]:
     """Execute the topology and return (metrics, finished cluster).
 
@@ -232,6 +234,10 @@ def run_wordcount(
     commits serialize through the coordinator and Zookeeper.  With
     ``transactional=False`` the topology relies on batch sealing alone,
     which Blazes proves sufficient for deterministic replay.
+
+    ``frame_size`` batches channel delivery (tuples per simulated
+    message); ``parallelism`` overrides per-component replica counts,
+    e.g. ``{"Count": 8}``.
     """
     topology = build_wordcount_topology(
         workers=workers,
@@ -245,6 +251,8 @@ def run_wordcount(
         drop_prob=drop_prob,
         replay_timeout=replay_timeout,
         zk_write_service=0.002,
+        frame_size=frame_size,
+        parallelism=parallelism,
         exec_times={
             "Splitter": 0.0002,
             "Count": 0.0001,

@@ -1,0 +1,30 @@
+"""Benchmark harness: scenario sweeps, timing, and JSON reporting.
+
+The measurement skeleton shared by every ``benchmarks/bench_*.py`` figure
+script (see ``benchmarks/README.md``): declare a :func:`sweep` of
+:class:`Scenario` parameter points, hand :func:`run_bench` a function
+mapping params to metrics, and get back a queryable :class:`BenchReport`
+that a :class:`JsonReporter` persists as ``BENCH_<name>.json``.
+"""
+
+from repro.bench.report import JsonReporter, default_output_dir
+from repro.bench.runner import (
+    BenchReport,
+    Scenario,
+    ScenarioResult,
+    run_bench,
+    sweep,
+)
+from repro.bench.timing import Stopwatch, timed
+
+__all__ = [
+    "BenchReport",
+    "JsonReporter",
+    "Scenario",
+    "ScenarioResult",
+    "Stopwatch",
+    "default_output_dir",
+    "run_bench",
+    "sweep",
+    "timed",
+]

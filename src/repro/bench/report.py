@@ -1,0 +1,52 @@
+"""JSON reporting: persist one benchmark run as ``BENCH_<name>.json``.
+
+The output file is the benchmark's durable record: the scenario grid, the
+metric values, wall-clock cost per scenario, and enough environment
+metadata to interpret a regression later.  ``benchmarks/README.md``
+documents where each figure script writes its file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.bench.runner import BenchReport
+
+__all__ = ["JsonReporter", "default_output_dir"]
+
+OUTPUT_DIR_ENV = "REPRO_BENCH_DIR"
+
+
+def default_output_dir() -> Path:
+    """Where ``BENCH_*.json`` files land: ``$REPRO_BENCH_DIR`` or the cwd."""
+    return Path(os.environ.get(OUTPUT_DIR_ENV, "."))
+
+
+class JsonReporter:
+    """Writes one ``BENCH_<name>.json`` per report into ``directory``."""
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self.directory = Path(directory) if directory is not None else default_output_dir()
+
+    def path_for(self, name: str) -> Path:
+        return self.directory / f"BENCH_{name}.json"
+
+    def write(self, report: "BenchReport") -> Path:
+        payload = {
+            **report.to_dict(),
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "environment": {
+                "python": platform.python_version(),
+                "platform": platform.platform(),
+            },
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(report.name)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path

@@ -1,0 +1,177 @@
+"""Scenario runner: the shared skeleton of every ``benchmarks/bench_*.py``.
+
+A benchmark is a list of :class:`Scenario` parameter points plus one
+measurement function; :func:`run_bench` executes each point, times it, and
+collects the returned metric mappings into a :class:`BenchReport` that can
+be queried by parameter (for assertions), rendered as a table (for the
+console), and written as ``BENCH_<name>.json`` (for the record).  The
+figure scripts stay tiny: declare the sweep, map params to a run, assert
+on the report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Iterable, Mapping
+from typing import Any
+
+from repro.bench.timing import timed
+from repro.errors import BenchError
+
+__all__ = ["Scenario", "ScenarioResult", "BenchReport", "run_bench", "sweep"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Scenario:
+    """One parameter point of a benchmark sweep."""
+
+    name: str
+    # hash=False: params is a dict, which the generated __hash__ could not
+    # digest; scenarios hash by name, compare by (name, params)
+    params: Mapping[str, Any] = dataclasses.field(default_factory=dict, hash=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", dict(self.params))
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioResult:
+    """The metrics one scenario produced, plus its wall-clock cost."""
+
+    name: str
+    params: dict[str, Any]
+    metrics: dict[str, Any]
+    wall_seconds: float
+
+    def __getitem__(self, key: str) -> Any:
+        return self.metrics[key]
+
+
+def sweep(name_format: str, grid: Mapping[str, Iterable[Any]]) -> list[Scenario]:
+    """The cartesian product of a parameter grid as scenarios.
+
+    ``sweep("f{frame_size}-p{workers}", {"frame_size": (1, 16),
+    "workers": (2, 4)})`` yields four scenarios named ``f1-p2`` ...
+    ``f16-p4``.
+    """
+    points: list[dict[str, Any]] = [{}]
+    for key, values in grid.items():
+        points = [{**point, key: value} for point in points for value in values]
+    return [Scenario(name_format.format(**point), point) for point in points]
+
+
+class BenchReport:
+    """The collected results of one benchmark run."""
+
+    def __init__(self, name: str, results: list[ScenarioResult]) -> None:
+        self.name = name
+        self.results = list(results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def row(self, name: str) -> ScenarioResult:
+        """The result of the scenario called ``name``."""
+        for result in self.results:
+            if result.name == name:
+                return result
+        raise BenchError(f"bench {self.name!r} has no scenario {name!r}")
+
+    def select(self, **params: Any) -> list[ScenarioResult]:
+        """Results whose params match every given key=value filter."""
+        return [
+            result
+            for result in self.results
+            if all(result.params.get(k) == v for k, v in params.items())
+        ]
+
+    def one(self, **params: Any) -> ScenarioResult:
+        """The single result matching the filter (raises otherwise)."""
+        matches = self.select(**params)
+        if len(matches) != 1:
+            raise BenchError(
+                f"bench {self.name!r}: {params!r} matched {len(matches)} "
+                f"scenarios, expected exactly 1"
+            )
+        return matches[0]
+
+    def column(self, metric: str, **params: Any) -> list[Any]:
+        """One metric across the (filtered) scenarios, in run order."""
+        return [result.metrics[metric] for result in self.select(**params)]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "bench": self.name,
+            "scenarios": [dataclasses.asdict(result) for result in self.results],
+        }
+
+    def table(self, *metrics: str) -> str:
+        """Render (selected or all) metrics as an aligned text table."""
+        if not self.results:
+            return f"{self.name}: no scenarios"
+        names = list(metrics) if metrics else sorted(
+            {key for result in self.results for key in result.metrics}
+        )
+        header = ["scenario"] + names + ["wall(s)"]
+        rows = [header]
+        for result in self.results:
+            rows.append(
+                [result.name]
+                + [_fmt(result.metrics.get(metric)) for metric in names]
+                + [f"{result.wall_seconds:.2f}"]
+            )
+        widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+        return "\n".join(
+            "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+            for row in rows
+        )
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:,.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def run_bench(
+    name: str,
+    scenarios: Iterable[Scenario],
+    fn: Callable[..., Mapping[str, Any]],
+    *,
+    reporter: "Any | None" = None,
+    verbose: bool = False,
+) -> BenchReport:
+    """Execute every scenario and collect a :class:`BenchReport`.
+
+    ``fn`` is called as ``fn(**scenario.params)`` and must return a
+    JSON-serializable metric mapping.  Pass a
+    :class:`repro.bench.report.JsonReporter` as ``reporter`` to also write
+    ``BENCH_<name>.json``.
+    """
+    results: list[ScenarioResult] = []
+    for scenario in scenarios:
+        metrics, wall = timed(fn, **scenario.params)
+        if not isinstance(metrics, Mapping):
+            raise BenchError(
+                f"bench {name!r} scenario {scenario.name!r}: measurement "
+                f"returned {type(metrics).__name__}, expected a metric mapping"
+            )
+        result = ScenarioResult(
+            scenario.name, dict(scenario.params), dict(metrics), wall
+        )
+        results.append(result)
+        if verbose:
+            print(f"[{name}] {scenario.name}: {result.metrics} ({wall:.2f}s)")
+    report = BenchReport(name, results)
+    if reporter is not None:
+        reporter.write(report)
+    return report

@@ -6,11 +6,14 @@ Zookeeper-like sequencer, and ``M3`` partition sealing driven by stream
 punctuations.
 """
 
+from repro.coord.assignment import ReplicaAssignment, stable_hash
 from repro.coord.ordering import OrderedConsumer, OrderedInbox
 from repro.coord.sealing import DATA, PUNCT, SealManager, SealedStreamProducer
 from repro.coord.zookeeper import ZkClient, ZkStats, ZookeeperService, install_zookeeper
 
 __all__ = [
+    "ReplicaAssignment",
+    "stable_hash",
     "OrderedConsumer",
     "OrderedInbox",
     "DATA",

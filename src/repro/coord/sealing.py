@@ -16,6 +16,11 @@ partition until it can prove the partition's contents are complete:
 Once complete, the partition is released for processing — asynchronously
 with respect to every other partition, which is why sealing scales where
 global ordering does not.
+
+When producers are scaled-out components, the producer set of a partition
+is derived from the actual replica layout by
+:class:`repro.coord.assignment.ReplicaAssignment`.  See
+``docs/architecture.md`` for the full paper-section-to-module map.
 """
 
 from __future__ import annotations
@@ -45,11 +50,17 @@ class SealedStreamProducer:
     producer therefore stamps every message on a ``(stream, destination)``
     channel with a dense sequence number and the consumer reassembles the
     channel in order — the role TCP plays for real punctuated streams.
+
+    ``producer_id`` names this producer in the protocol; it defaults to
+    the process name but may identify one *task replica* of a scaled-out
+    component (see :class:`repro.coord.assignment.ReplicaAssignment`), so
+    a single simulated process can host several protocol-level producers.
     """
 
-    def __init__(self, process, stream: str) -> None:
+    def __init__(self, process, stream: str, *, producer_id: str | None = None) -> None:
         self.process = process
         self.stream = stream
+        self.producer_id = producer_id if producer_id is not None else process.name
         self._sealed: set[Partition] = set()
         self._open: set[Partition] = set()
         self._chan_seq: dict[str, int] = {}
@@ -63,14 +74,14 @@ class SealedStreamProducer:
         """Send one data record within a partition."""
         if partition in self._sealed:
             raise SimulationError(
-                f"producer {self.process.name} already sealed partition "
+                f"producer {self.producer_id} already sealed partition "
                 f"{partition!r} on stream {self.stream}"
             )
         self._open.add(partition)
         self.process.send(
             dst,
             DATA,
-            (self.stream, self._next_seq(dst), partition, record, self.process.name),
+            (self.stream, self._next_seq(dst), partition, record, self.producer_id),
         )
 
     def seal(self, dst: str, partition: Partition) -> None:
@@ -80,7 +91,7 @@ class SealedStreamProducer:
         self.process.send(
             dst,
             PUNCT,
-            (self.stream, self._next_seq(dst), partition, self.process.name),
+            (self.stream, self._next_seq(dst), partition, self.producer_id),
         )
 
     def seal_all(self, dst: str) -> None:

@@ -15,6 +15,8 @@ with a quorum round trip before starting the next.  The service is modeled
 as a single-server queue with per-operation service times, which is what
 produces the queueing collapse of the ordered strategy when load doubles
 (paper Figure 13).
+
+See ``docs/architecture.md`` for the full paper-section-to-module map.
 """
 
 from __future__ import annotations

@@ -17,6 +17,8 @@ component that can produce consistency anomalies, between:
 The resulting :class:`CoordinationPlan` is consumed by the runtimes
 (:mod:`repro.storm` and :mod:`repro.bloom`) to install the corresponding
 delivery mechanisms, and can be rendered for human review.
+
+See ``docs/architecture.md`` for the full paper-section-to-module map.
 """
 
 from __future__ import annotations

@@ -46,3 +46,7 @@ class BloomError(BlazesError):
 
 class StormError(BlazesError):
     """A Storm topology is malformed or was executed incorrectly."""
+
+
+class BenchError(BlazesError):
+    """A benchmark scenario or report was queried or produced incorrectly."""

@@ -5,6 +5,8 @@ of Storm and hands it to Blazes along with the programmer's annotations.
 Here the annotations live on the bolts themselves (``blazes_annotations``)
 and the topology's wiring supplies the streams; the result is an ordinary
 :class:`repro.core.graph.Dataflow` ready for :func:`repro.core.analyze`.
+
+See ``docs/architecture.md`` for the full paper-section-to-module map.
 """
 
 from __future__ import annotations

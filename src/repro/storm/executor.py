@@ -5,8 +5,14 @@ queue (per-item execution time), so contention and pipeline imbalance show
 up in virtual time exactly as they would on a cluster.  The engine provides
 the Storm guarantees the paper's evaluation relies on:
 
-* **channel FIFO** — tuples between a task pair are sequence-numbered and
+* **channel FIFO** — frames between a task pair are sequence-numbered and
   reassembled in order, so batch punctuations cannot overtake data;
+* **batched delivery** — tuples between a task pair coalesce into frames
+  of up to ``frame_size`` items carried by a single simulated message.
+  Punctuations ride in-frame (flushing the channel), so FIFO, batch
+  tracking, and replay all operate at frame granularity and the number of
+  simulated message events shrinks roughly ``frame_size``-fold on the
+  data path;
 * **batch tracking** — a task finishes batch ``b`` when every upstream task
   has punctuated ``b``; it then forwards its own punctuation downstream;
 * **at-least-once replay** — a spout re-emits a batch (as a new *attempt*)
@@ -20,10 +26,10 @@ the Storm guarantees the paper's evaluation relies on:
 
 from __future__ import annotations
 
-import zlib
 from collections import deque
 from typing import Any
 
+from repro.coord.assignment import ReplicaAssignment, stable_hash
 from repro.coord.ordering import OrderedInbox
 from repro.errors import StormError
 from repro.sim.network import LatencyModel, Message, Network, Process
@@ -32,15 +38,10 @@ from repro.sim.trace import Trace
 from repro.storm.topology import Grouping, Topology
 from repro.storm.tuples import StormTuple
 
-__all__ = ["StormCluster", "ClusterConfig"]
+__all__ = ["StormCluster", "ClusterConfig", "stable_hash"]
 
 CHAN = "st.chan"
 ACK = "st.ack"
-
-
-def stable_hash(value: Any) -> int:
-    """A deterministic cross-run hash (``hash()`` is salted per process)."""
-    return zlib.crc32(repr(value).encode("utf-8"))
 
 
 class _Router:
@@ -49,31 +50,34 @@ class _Router:
     def __init__(self, task: "_TaskBase", cluster: "StormCluster", component: str):
         self.task = task
         self.cluster = cluster
-        self.targets: list[tuple[Grouping, list[str], Any]] = []
+        self.targets: list[tuple[Grouping, str, list[str], Any]] = []
         for consumer, grouping in cluster.topology.consumers_of(component):
             task_names = cluster.task_names(consumer)
             fields = cluster.topology.declaration(component).factory().output_fields
-            self.targets.append((grouping, task_names, fields))
+            self.targets.append((grouping, consumer, task_names, fields))
         self._shuffle_counters = [0] * len(self.targets)
 
     def route(self, batch: int, attempt: int, values: tuple) -> None:
-        for index, (grouping, task_names, fields) in enumerate(self.targets):
+        for index, (grouping, consumer, task_names, fields) in enumerate(self.targets):
             if grouping.mode == "shuffle":
                 position = self._shuffle_counters[index] % len(task_names)
                 self._shuffle_counters[index] += 1
+                dst = task_names[position]
             elif grouping.mode == "fields":
+                # the one shared routing formula: seal producer sets are
+                # derived from the same assignment, so they must agree
                 key = fields.project(values, grouping.fields)
-                position = stable_hash(key) % len(task_names)
+                dst = self.cluster.assignment.task_for(consumer, key)
             else:  # global
-                position = 0
-            self.task.send_chan(
-                task_names[position], batch, attempt, ("tuple", values)
-            )
+                dst = task_names[0]
+            self.task.send_chan(dst, batch, attempt, ("tuple", values))
 
     def broadcast_punct(self, batch: int, attempt: int) -> None:
-        for _grouping, task_names, _fields in self.targets:
+        # flush=True: the punctuation closes the channel's open frame, so
+        # no data record of the batch attempt stays buffered behind it.
+        for _grouping, _consumer, task_names, _fields in self.targets:
             for name in task_names:
-                self.task.send_chan(name, batch, attempt, ("punct",))
+                self.task.send_chan(name, batch, attempt, ("punct",), flush=True)
 
     @property
     def has_consumers(self) -> bool:
@@ -89,40 +93,73 @@ class _TaskBase(Process):
     covers — so scoping the sequence space to one batch attempt means a
     message lost to the network stalls only that attempt, and the spout's
     replay (a fresh attempt, hence fresh channels) recovers it.
+
+    Outgoing items accumulate per channel into a *frame* of up to
+    ``frame_size`` items; one sequence number covers one frame, and one
+    simulated message carries it.  A punctuation always flushes its
+    channel (appended after any buffered data, so it cannot overtake the
+    records it covers), and a batch attempt always ends in a punctuation
+    broadcast to every downstream task — which is what guarantees no data
+    is left stranded in a partial frame.
     """
 
     def __init__(self, name: str, cluster: "StormCluster") -> None:
         super().__init__(name)
         self.cluster = cluster
+        self.frame_size = cluster.config.frame_size
         self._chan_seq: dict[tuple[str, int, int], int] = {}
+        self._out_frames: dict[tuple[str, int, int], list[tuple]] = {}
         self._inboxes: dict[tuple[str, int, int], OrderedInbox] = {}
+        self.frames_sent = 0
+        self.items_sent = 0
 
-    def send_chan(self, dst: str, batch: int, attempt: int, item: tuple) -> None:
+    def send_chan(
+        self, dst: str, batch: int, attempt: int, item: tuple, *, flush: bool = False
+    ) -> None:
         key = (dst, batch, attempt)
+        frame = self._out_frames.setdefault(key, [])
+        frame.append(item)
+        if flush or len(frame) >= self.frame_size:
+            self._flush_chan(key)
+
+    def _flush_chan(self, key: tuple[str, int, int]) -> None:
+        frame = self._out_frames.pop(key, None)
+        if not frame:
+            return
+        dst, batch, attempt = key
         seq = self._chan_seq.get(key, 0)
         self._chan_seq[key] = seq + 1
-        self.send(dst, CHAN, (self.name, batch, attempt, seq, item))
+        # counted at flush, not buffer time: items a replay discards from
+        # _out_frames were never carried by any frame
+        self.frames_sent += 1
+        self.items_sent += len(frame)
+        self.send(dst, CHAN, (self.name, batch, attempt, seq, tuple(frame)))
 
     def handle_chan(self, msg: Message) -> None:
-        src, batch, attempt, seq, item = msg.payload
+        src, batch, attempt, seq, frame = msg.payload
         key = (src, batch, attempt)
         inbox = self._inboxes.get(key)
         if inbox is None:
             inbox = OrderedInbox(
-                lambda it, s=src, b=batch, a=attempt: self.on_item(s, b, a, it)
+                lambda fr, s=src, b=batch, a=attempt: self._on_frame(s, b, a, fr)
             )
             self._inboxes[key] = inbox
-        inbox.offer(seq, item)
+        inbox.offer(seq, frame)
 
-    def drop_stale_inboxes(self, batch: int, before_attempt: int) -> None:
-        """Discard reorder buffers of superseded attempts of a batch."""
-        stale = [
-            key
-            for key in self._inboxes
-            if key[1] == batch and key[2] < before_attempt
-        ]
-        for key in stale:
-            del self._inboxes[key]
+    def _on_frame(self, src: str, batch: int, attempt: int, frame: tuple) -> None:
+        for item in frame:
+            self.on_item(src, batch, attempt, item)
+
+    def drop_stale_channels(self, batch: int, before_attempt: int) -> None:
+        """Discard channel state of superseded attempts of a batch."""
+        for table in (self._inboxes, self._out_frames, self._chan_seq):
+            stale = [
+                key
+                for key in table
+                if key[1] == batch and key[2] < before_attempt
+            ]
+            for key in stale:
+                del table[key]
 
     def on_item(self, src: str, batch: int, attempt: int, item: tuple) -> None:
         raise NotImplementedError  # pragma: no cover
@@ -306,7 +343,7 @@ class _BoltTask(_TaskBase):
             self._batch_attempt[batch] = attempt
             self._puncts.pop((batch, current), None)
             self._finished.discard(batch)
-            self.drop_stale_inboxes(batch, attempt)
+            self.drop_stale_channels(batch, attempt)
             self._queue = deque(
                 entry for entry in self._queue if not (entry[1] == batch and entry[2] < attempt)
             )
@@ -355,7 +392,12 @@ class ClusterConfig:
 
     ``exec_times`` maps component name to per-item service time;
     ``transactional`` defers the terminal bolt's batch completion to the
-    commit coordinator (see :mod:`repro.storm.transactional`).
+    commit coordinator (see :mod:`repro.storm.transactional`);
+    ``frame_size`` is the channel-delivery batching factor (1 = one
+    simulated message per tuple, the unbatched seed behavior);
+    ``parallelism`` overrides per-component replica counts declared in the
+    topology, making scale-out a run-time knob rather than a topology
+    rebuild.
     """
 
     def __init__(
@@ -374,7 +416,11 @@ class ClusterConfig:
         transactional: bool = False,
         commit_time: float = 0.001,
         zk_write_service: float = 0.004,
+        frame_size: int = 1,
+        parallelism: dict[str, int] | None = None,
     ) -> None:
+        if frame_size < 1:
+            raise StormError(f"frame_size must be >= 1, got {frame_size}")
         self.seed = seed
         self.latency = latency or LatencyModel(base=0.0005, jitter=0.001)
         self.drop_prob = drop_prob
@@ -388,6 +434,8 @@ class ClusterConfig:
         self.transactional = transactional
         self.commit_time = commit_time
         self.zk_write_service = zk_write_service
+        self.frame_size = frame_size
+        self.parallelism = dict(parallelism or {})
 
 
 class StormCluster:
@@ -413,7 +461,17 @@ class StormCluster:
             reliable_kinds=reliable,
         )
         self.trace = Trace()
-        self._tasks: dict[str, list[str]] = {}
+        unknown = set(self.config.parallelism) - set(topology.declarations)
+        if unknown:
+            raise StormError(
+                f"parallelism overrides for unknown components: {sorted(unknown)}"
+            )
+        self.assignment = ReplicaAssignment(
+            {
+                name: self.config.parallelism.get(name, decl.parallelism)
+                for name, decl in topology.declarations.items()
+            }
+        )
         self._spout_tasks: list[str] = []
         self._bolt_tasks: dict[str, _BoltTask] = {}
         self._exhausted_spouts = 0
@@ -442,12 +500,9 @@ class StormCluster:
         return terminals[0]
 
     def task_names(self, component: str) -> list[str]:
-        if component not in self._tasks:
-            declaration = self.topology.declaration(component)
-            self._tasks[component] = [
-                f"{component}#{i}" for i in range(declaration.parallelism)
-            ]
-        return self._tasks[component]
+        """The replica tasks a component runs as (config may override)."""
+        self.topology.declaration(component)  # raise on unknown components
+        return list(self.assignment.tasks_of(component))
 
     def upstream_tasks_of(self, component: str) -> frozenset[str]:
         names: set[str] = set()
@@ -533,4 +588,22 @@ class StormCluster:
             task.replays
             for task in self.network.processes
             if isinstance(task, _SpoutTask)
+        )
+
+    @property
+    def total_frames_sent(self) -> int:
+        """Channel frames sent (each is one simulated message)."""
+        return sum(
+            task.frames_sent
+            for task in self.network.processes
+            if isinstance(task, _TaskBase)
+        )
+
+    @property
+    def total_items_sent(self) -> int:
+        """Channel items (tuples + punctuations) carried by those frames."""
+        return sum(
+            task.items_sent
+            for task in self.network.processes
+            if isinstance(task, _TaskBase)
         )

@@ -11,13 +11,23 @@ __all__ = ["RunMetrics", "collect_metrics"]
 
 @dataclasses.dataclass(frozen=True)
 class RunMetrics:
-    """Summary statistics of one cluster run."""
+    """Summary statistics of one cluster run.
+
+    ``messages_sent`` counts every simulated network message (data frames,
+    punctuations, acks, coordination traffic); ``frames_sent`` /
+    ``items_sent`` cover the channel data path only, so
+    ``items_sent / frames_sent`` is the achieved delivery batching factor.
+    """
 
     duration: float
     batches_acked: int
     tuples_emitted: int
     replays: int
     mean_batch_latency: float
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    frames_sent: int = 0
+    items_sent: int = 0
 
     @property
     def throughput(self) -> float:
@@ -52,4 +62,8 @@ def collect_metrics(cluster: StormCluster, batch_size: int) -> RunMetrics:
         tuples_emitted=len(acked) * batch_size,
         replays=cluster.total_replays,
         mean_batch_latency=mean_latency,
+        messages_sent=cluster.network.sent,
+        messages_delivered=cluster.network.delivered,
+        frames_sent=cluster.total_frames_sent,
+        items_sent=cluster.total_items_sent,
     )

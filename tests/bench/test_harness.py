@@ -1,0 +1,97 @@
+"""The repro.bench harness: sweeps, reports, and JSON output."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BenchReport,
+    JsonReporter,
+    Scenario,
+    ScenarioResult,
+    Stopwatch,
+    run_bench,
+    sweep,
+    timed,
+)
+from repro.errors import BenchError
+
+
+def toy_measure(*, x: int, y: int = 1) -> dict:
+    return {"product": x * y, "x_back": x}
+
+
+def test_sweep_builds_cartesian_product_with_formatted_names():
+    scenarios = sweep("f{frame}-w{workers}", {"frame": (1, 16), "workers": (2, 4)})
+    assert [s.name for s in scenarios] == ["f1-w2", "f1-w4", "f16-w2", "f16-w4"]
+    assert scenarios[2].params == {"frame": 16, "workers": 2}
+
+
+def test_run_bench_collects_metrics_and_wall_time():
+    scenarios = sweep("x{x}", {"x": (2, 3)})
+    report = run_bench("toy", scenarios, toy_measure)
+    assert len(report) == 2
+    row = report.row("x3")
+    assert row["product"] == 3 and row.params == {"x": 3}
+    assert row.wall_seconds >= 0.0
+
+
+def test_report_select_one_and_column():
+    report = run_bench("toy", sweep("x{x}-y{y}", {"x": (1, 2), "y": (5,)}), toy_measure)
+    assert len(report.select(y=5)) == 2
+    assert report.one(x=2)["product"] == 10
+    assert report.column("product", y=5) == [5, 10]
+    with pytest.raises(BenchError):
+        report.one(y=5)  # two matches
+    with pytest.raises(BenchError):
+        report.row("nope")
+
+
+def test_run_bench_rejects_non_mapping_measurements():
+    with pytest.raises(BenchError):
+        run_bench("bad", [Scenario("s", {})], lambda: 42)
+
+
+def test_table_renders_all_metrics_aligned():
+    report = run_bench("toy", sweep("x{x}", {"x": (7,)}), toy_measure)
+    table = report.table()
+    lines = table.splitlines()
+    assert "scenario" in lines[0] and "product" in lines[0]
+    assert "x7" in lines[1] and "7" in lines[1]
+
+
+def test_json_reporter_writes_bench_file(tmp_path):
+    reporter = JsonReporter(tmp_path)
+    report = run_bench(
+        "figX", sweep("x{x}", {"x": (1, 2)}), toy_measure, reporter=reporter
+    )
+    path = tmp_path / "BENCH_figX.json"
+    assert path == reporter.path_for("figX")
+    payload = json.loads(path.read_text())
+    assert payload["bench"] == "figX"
+    assert len(payload["scenarios"]) == 2
+    assert payload["scenarios"][0]["metrics"]["product"] == 1
+    assert "created" in payload and "environment" in payload
+    assert isinstance(report, BenchReport)
+
+
+def test_json_reporter_honors_env_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path / "out"))
+    reporter = JsonReporter()
+    run_bench("figY", [Scenario("only", {})], lambda: {"ok": True}, reporter=reporter)
+    assert (tmp_path / "out" / "BENCH_figY.json").exists()
+
+
+def test_scenario_result_is_json_round_trippable():
+    result = ScenarioResult("s", {"a": 1}, {"m": 2.5}, 0.01)
+    assert json.loads(json.dumps(result.metrics)) == {"m": 2.5}
+
+
+def test_stopwatch_and_timed():
+    with Stopwatch() as watch:
+        sum(range(1000))
+    assert watch.seconds >= 0.0
+    value, seconds = timed(lambda a: a + 1, 41)
+    assert value == 42 and seconds >= 0.0
