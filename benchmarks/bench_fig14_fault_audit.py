@@ -1,0 +1,117 @@
+"""Figure 14 companion: the with/without-coordination fault audit.
+
+The paper's Section VII methodology is to run each system twice — with
+the synthesized coordination and without — and show that the predicted
+anomaly appears exactly when coordination is removed.  This benchmark
+executes that methodology as a campaign over every audit app
+(wordcount, ad network, KVS), every strategy, every fault schedule in
+the app's envelope, and several network seeds of one fixed workload,
+then asserts the two halves of the Blazes claim:
+
+* **soundness** — every cell observes an anomaly severity at or below
+  the label :func:`repro.core.analysis.analyze` predicted
+  (``observed <= predicted`` in the Figure 8 lattice), and every
+  *coordinated* cell stays within ``Async``;
+* **completeness-in-practice** — the labels are not vacuous: with the
+  coordination removed, the unsealed word count empirically exhibits
+  ``Run`` (cross-run commit divergence) and the replicated KVS exhibits
+  permanent ``Diverge`` (paper Section III-B).
+
+Run it through the ``repro.bench`` harness::
+
+    PYTHONPATH=src python benchmarks/bench_fig14_fault_audit.py
+
+which writes ``BENCH_fig14-audit.json`` (to ``$REPRO_BENCH_DIR`` or the
+cwd), or with pytest for the assertions::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_fig14_fault_audit.py -s
+"""
+
+from __future__ import annotations
+
+import functools
+import sys
+
+from repro.bench import BenchReport, JsonReporter
+from repro.chaos import (
+    audit_campaign,
+    campaign_is_sound,
+    demonstrated_anomalies,
+    render_audit,
+)
+from repro.chaos.campaign import DEFAULT_SEEDS as SEEDS
+from repro.chaos.campaign import DEFAULT_SMOKE_SEEDS as SMOKE_SEEDS
+
+
+def run_audit(smoke: bool = False) -> BenchReport:
+    """The full campaign; writes ``BENCH_fig14-audit[-smoke].json``.
+
+    Smoke runs use CI-sized workloads and two seeds, and write a
+    ``-smoke`` file so they never clobber a full-scale record.
+    """
+    return _run_audit_cached(smoke)
+
+
+@functools.lru_cache(maxsize=None)
+def _run_audit_cached(smoke: bool) -> BenchReport:
+    name = "fig14-audit-smoke" if smoke else "fig14-audit"
+    return audit_campaign(
+        smoke=smoke,
+        seeds=SMOKE_SEEDS if smoke else SEEDS,
+        name=name,
+        reporter=JsonReporter(),
+    )
+
+
+def test_fig14_audit_is_sound():
+    """Soundness: no run ever exceeds its predicted label."""
+    report = run_audit()
+    print()
+    print("Figure 14 audit — observed vs predicted labels under faults")
+    print(render_audit(report))
+    assert campaign_is_sound(report), render_audit(report)
+    # the campaign really is the promised sweep: >= 3 apps x 2 strategies
+    # x >= 3 schedules
+    apps = {r.params["app"] for r in report}
+    assert len(apps) >= 3
+    for app in apps:
+        rows = report.select(app=app)
+        assert len({r.params["strategy"] for r in rows}) >= 2
+        assert len({r.params["schedule"] for r in rows}) >= 3
+    # every coordinated cell stays within Async (severity 2): the
+    # synthesized coordination makes the anomalies impossible
+    for result in report:
+        if result["coordinated"]:
+            assert result["observed_severity"] <= 2, result.name
+
+
+def test_fig14_uncoordinated_anomalies_appear():
+    """Completeness-in-practice: remove coordination, see the anomaly."""
+    report = run_audit()
+    anomalies = demonstrated_anomalies(report)
+    observed = set(anomalies.values())
+    # the unsealed word count breaks replay determinism...
+    assert any(
+        name.startswith("wordcount/eager") and label == "Run"
+        for name, label in anomalies.items()
+    ), anomalies
+    # ...and the replicated KVS diverges permanently (Section III-B)
+    assert any(
+        name.startswith("kvs/uncoordinated") and label == "Diverge"
+        for name, label in anomalies.items()
+    ), anomalies
+    assert {"Run", "Diverge"} <= observed
+
+
+def main(argv: list[str] | None = None) -> None:
+    smoke = "--smoke" in (argv if argv is not None else sys.argv[1:])
+    report = run_audit(smoke=smoke)
+    print(render_audit(report, evidence=not smoke))
+    print()
+    print(f"wrote {JsonReporter().path_for(report.name)}")
+    if not campaign_is_sound(report):
+        raise SystemExit(4)
+
+
+if __name__ == "__main__":
+    main()

@@ -16,11 +16,21 @@ from repro.apps.ad_network import (
     ad_network_dataflow,
     run_ad_network,
 )
-from repro.apps.kvs import LwwKvs, SnapshotCache, kvs_dataflow
+from repro.apps.kvs import (
+    KVS_STRATEGIES,
+    KvsResult,
+    KvsWorkload,
+    LwwKvs,
+    SnapshotCache,
+    kvs_dataflow,
+    run_kvs,
+)
 from repro.apps.queries import QUERY_NAMES, make_report_module
 from repro.apps.wordcount import (
     CommitBolt,
     CountBolt,
+    EagerCommitBolt,
+    EagerCountBolt,
     SplitterBolt,
     TweetSpout,
     build_wordcount_topology,
@@ -34,13 +44,19 @@ __all__ = [
     "AdWorkload",
     "ad_network_dataflow",
     "run_ad_network",
+    "KVS_STRATEGIES",
+    "KvsResult",
+    "KvsWorkload",
     "LwwKvs",
     "SnapshotCache",
     "kvs_dataflow",
+    "run_kvs",
     "QUERY_NAMES",
     "make_report_module",
     "CommitBolt",
     "CountBolt",
+    "EagerCommitBolt",
+    "EagerCountBolt",
     "SplitterBolt",
     "TweetSpout",
     "build_wordcount_topology",

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable
 
 from repro.apps.queries import make_report_module
 from repro.bloom.cluster import INSERT_MSG, BloomCluster, BloomNode
@@ -168,6 +168,11 @@ class AdServer(Process):
         self._cursor = 0
         self.sent = 0
 
+    @property
+    def planned_entries(self) -> tuple[tuple, ...]:
+        """Every click row this server will emit (chaos ground truth)."""
+        return tuple(self._entries)
+
     def _plan_entries(
         self, campaigns: list[int], seed: int, interleave: bool
     ) -> list[tuple]:
@@ -269,14 +274,19 @@ class Analyst(Process):
         self.report_nodes = report_nodes
         self.horizon = horizon
         self.zk = ZkClient(self) if strategy == "ordered" else None
-        self.rng = random.Random(f"analyst:{seed}")
+        rng = random.Random(f"analyst:{seed}")
+        self.planned_requests: tuple[tuple, ...] = tuple(
+            (
+                f"q{index}",
+                f"ad{rng.randrange(workload.campaigns)}"
+                f"-{rng.randrange(workload.ads_per_campaign)}",
+            )
+            for index in range(workload.requests)
+        )
 
     def on_start(self) -> None:
         spacing = self.horizon / max(1, self.workload.requests)
-        for index in range(self.workload.requests):
-            campaign = self.rng.randrange(self.workload.campaigns)
-            ad = f"ad{campaign}-{self.rng.randrange(self.workload.ads_per_campaign)}"
-            row = (f"q{index}", ad)
+        for index, row in enumerate(self.planned_requests):
             self.after(spacing * (index + 1), lambda r=row: self._ask(r))
 
     def _ask(self, row: tuple) -> None:
@@ -325,6 +335,27 @@ class AdNetworkResult:
         sets = [self.responses(node) for node in self.report_nodes]
         return all(s == sets[0] for s in sets[1:])
 
+    # ------------------------------------------------------------------
+    # chaos-audit hooks: quiescent state and ground truth
+    # ------------------------------------------------------------------
+    def committed_state(self, node: str) -> frozenset[tuple]:
+        """A replica's durable state at quiescence, tagged by table."""
+        replica = self.cluster.node(node)
+        return frozenset(
+            {("click", *row) for row in replica.read("clicks")}
+            | {("request", *row) for row in replica.read("requests")}
+        )
+
+    def ground_truth_state(self) -> frozenset[tuple]:
+        """What every replica *should* have committed: all planned input."""
+        rows: set[tuple] = set()
+        for process in self.cluster.network.processes:
+            if isinstance(process, AdServer):
+                rows.update(("click", *row) for row in process.planned_entries)
+            elif isinstance(process, Analyst):
+                rows.update(("request", *row) for row in process.planned_requests)
+        return frozenset(rows)
+
 
 def run_ad_network(
     strategy: str,
@@ -336,13 +367,15 @@ def run_ad_network(
     query_kwargs: dict | None = None,
     zk_write_service: float = 0.003,
     max_events: int | None = None,
+    chaos: "Callable[[BloomCluster], None] | None" = None,
 ) -> AdNetworkResult:
     """Execute the ad-tracking network under one coordination regime.
 
     ``seed`` controls network nondeterminism (delivery interleavings);
     ``workload_seed`` (defaulting to ``seed``) controls the generated
     click log, so two runs can share a workload while exploring different
-    delivery orders.
+    delivery orders.  ``chaos`` receives the built, not-yet-running
+    cluster so ``repro.chaos`` schedules can arm fault injection.
     """
     if strategy not in STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r}; have {STRATEGIES}")
@@ -431,6 +464,8 @@ def run_ad_network(
     )
     cluster.network.register(analyst)
 
+    if chaos is not None:
+        chaos(cluster)
     cluster.run(max_events=max_events)
 
     registry_lookups = sum(

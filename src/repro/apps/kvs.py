@@ -16,11 +16,37 @@ analysis applies to it), :class:`SnapshotCache` the downstream cache, and
 
 from __future__ import annotations
 
+import dataclasses
+import random
+from collections.abc import Callable
+
+from repro.bloom.cluster import INSERT_MSG, BloomCluster, BloomNode
 from repro.bloom.module import BloomModule
+from repro.bloom.rewrite import SealedInputAdapter
+from repro.coord.sealing import DATA as SEAL_DATA
+from repro.coord.sealing import PUNCT as SEAL_PUNCT
+from repro.coord.sealing import SealedStreamProducer
 from repro.core.annotations import CW
 from repro.core.graph import Dataflow
+from repro.errors import SimulationError
+from repro.sim.network import LatencyModel, Process
 
-__all__ = ["LwwKvs", "SnapshotCache", "kvs_dataflow"]
+__all__ = [
+    "KVS_STRATEGIES",
+    "LwwKvs",
+    "SnapshotCache",
+    "kvs_dataflow",
+    "KvsWorkload",
+    "KvsClient",
+    "SealedKvsAdapter",
+    "KvsResult",
+    "run_kvs",
+]
+
+KVS_STRATEGIES = ("uncoordinated", "sealed")
+
+PUT_STREAM = "kvs.puts"
+CLIENT = "client"
 
 
 class LwwKvs(BloomModule):
@@ -118,3 +144,302 @@ def kvs_dataflow(*, seal_puts_on_key: bool = False) -> Dataflow:
     flow.add_stream("responses", src=("Store", "getr"), dst=("Cache", "response"))
     flow.add_stream("cached", src=("Cache", "cached"))
     return flow
+
+
+# ----------------------------------------------------------------------
+# the runnable two-tier deployment (chaos-audit workload)
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class KvsWorkload:
+    """Parameters for one simulated KVS deployment.
+
+    Each of ``store_replicas`` store nodes receives every put and get; a
+    store node's GET responses feed its *own* cache replica (replica ``i``
+    is the ``store{i}``/``cache{i}`` pair), which is how transient
+    snapshot disagreement between stores hardens into cache divergence.
+    """
+
+    keys: int = 6
+    writes_per_key: int = 6
+    gets: int = 16
+    store_replicas: int = 2
+    batch_size: int = 4
+    sleep: float = 0.01
+
+    @property
+    def total_writes(self) -> int:
+        return self.keys * self.writes_per_key
+
+    @property
+    def horizon(self) -> float:
+        """Approximate virtual time over which the client emits."""
+        bursts = max(1, (self.total_writes + self.batch_size - 1) // self.batch_size)
+        return bursts * self.sleep
+
+    def winners(self) -> dict[str, str]:
+        """Ground truth: the LWW winner per key (max timestamp wins)."""
+        return {
+            f"k{index}": _value_for(index, self.writes_per_key - 1)
+            for index in range(self.keys)
+        }
+
+
+def _value_for(key_index: int, ts: int) -> str:
+    return f"v{key_index}.{ts}"
+
+
+class KvsClient(Process):
+    """Drives the workload: interleaved puts in bursts, gets on timers.
+
+    ``uncoordinated`` broadcasts every operation straight to each store
+    replica (fire-and-forget datagrams).  ``sealed`` ships puts through
+    one :class:`~repro.coord.sealing.SealedStreamProducer` per store,
+    partitioned by ``key``, punctuating a key when its last write is sent
+    — the per-key seal the analysis says discharges the store's gate.
+    Gets are always broadcast; under ``sealed`` the consumer-side adapter
+    holds them until their key's partition is complete.
+    """
+
+    def __init__(
+        self,
+        *,
+        workload: KvsWorkload,
+        strategy: str,
+        store_nodes: list[str],
+        seed: int,
+    ) -> None:
+        super().__init__(CLIENT)
+        self.workload = workload
+        self.strategy = strategy
+        self.store_nodes = store_nodes
+        rng = random.Random(f"kvs:{seed}")
+        self._writes = self._plan_writes(rng)
+        self._last_index = {
+            row[0]: position for position, row in enumerate(self._writes)
+        }
+        self.planned_gets: tuple[tuple, ...] = tuple(
+            (f"g{index}", f"k{rng.randrange(workload.keys)}")
+            for index in range(workload.gets)
+        )
+        self._producers: dict[str, SealedStreamProducer] = {}
+        if strategy == "sealed":
+            self._producers = {
+                node: SealedStreamProducer(self, PUT_STREAM)
+                for node in store_nodes
+            }
+        self._cursor = 0
+
+    def _plan_writes(self, rng: random.Random) -> list[tuple]:
+        """Interleave per-key write sequences into one client order."""
+        writes = [
+            (f"k{key}", _value_for(key, ts), ts)
+            for key in range(self.workload.keys)
+            for ts in range(self.workload.writes_per_key)
+        ]
+        rng.shuffle(writes)
+        return writes
+
+    @property
+    def planned_writes(self) -> tuple[tuple, ...]:
+        return tuple(self._writes)
+
+    def on_start(self) -> None:
+        self.after(0.0, self._burst)
+        spacing = self.workload.horizon * 1.2 / max(1, len(self.planned_gets))
+        for index, row in enumerate(self.planned_gets):
+            self.after(spacing * (index + 1), lambda r=row: self._ask(r))
+
+    def _burst(self) -> None:
+        end = min(self._cursor + self.workload.batch_size, len(self._writes))
+        batch = self._writes[self._cursor:end]
+        for row in batch:
+            self._dispatch(row)
+        sealed_keys = [
+            row[0]
+            for position, row in enumerate(batch, start=self._cursor)
+            if self._last_index[row[0]] == position
+        ]
+        self._cursor = end
+        for key in sealed_keys:
+            self._seal_key(key)
+        if self._cursor < len(self._writes):
+            self.after(self.workload.sleep, self._burst)
+
+    def _dispatch(self, row: tuple) -> None:
+        if self.strategy == "sealed":
+            for node in self.store_nodes:
+                self._producers[node].send_record(node, row[0], row)
+        else:
+            for node in self.store_nodes:
+                self.send(node, INSERT_MSG, ("put", [row]))
+
+    def _seal_key(self, key: str) -> None:
+        for node, producer in self._producers.items():
+            producer.seal(node, key)
+
+    def _ask(self, row: tuple) -> None:
+        for node in self.store_nodes:
+            self.send(node, INSERT_MSG, ("get", [row]))
+
+    def recv(self, msg) -> None:
+        raise SimulationError(f"kvs client got unexpected {msg.kind}")
+
+
+class SealedKvsAdapter(SealedInputAdapter):
+    """Per-key sealing with GET rendezvous.
+
+    Beyond buffering the sealed put stream (inherited), GETs are deferred
+    until their key's partition has been released: a get answered before
+    the key's contents are complete would read a nondeterministic
+    snapshot, which is exactly the anomaly sealing exists to prevent
+    (paper footnote 2: determinism requires the query to come after all
+    relevant inputs).  Puts and the gets they unblock are inserted in the
+    same timestep, so released gets observe the complete key.
+    """
+
+    def __init__(self, node: BloomNode) -> None:
+        super().__init__(
+            node,
+            PUT_STREAM,
+            "put",
+            producers_for=lambda partition: frozenset({CLIENT}),
+        )
+        self._deferred_gets: dict[str, list[tuple]] = {}
+        node.add_plugin(self._gate_gets)
+
+    def _gate_gets(self, msg) -> bool:
+        if msg.kind != INSERT_MSG:
+            return False
+        collection, rows = msg.payload
+        if collection != "get":
+            return False
+        ready: list[tuple] = []
+        for row in rows:
+            key = row[1]
+            if key in self.manager.released:
+                ready.append(tuple(row))
+            else:
+                self._deferred_gets.setdefault(key, []).append(tuple(row))
+        if ready:
+            self.node.insert("get", ready)
+        return True
+
+    def _release(self, partition, records: list) -> None:
+        super()._release(partition, records)
+        deferred = self._deferred_gets.pop(partition, None)
+        if deferred:
+            self.node.insert("get", deferred)
+
+
+@dataclasses.dataclass
+class KvsResult:
+    """Outcome of one KVS run (chaos-audit hooks included)."""
+
+    strategy: str
+    workload: KvsWorkload
+    cluster: BloomCluster
+    store_nodes: list[str]
+    cache_nodes: list[str]
+
+    def cache_entries(self, node: str) -> frozenset[tuple]:
+        """A cache replica's pinned responses at quiescence."""
+        return self.cluster.node(node).read("entries")
+
+    def store_writes(self, node: str) -> frozenset[tuple]:
+        """A store replica's accumulated write set at quiescence."""
+        return self.cluster.node(node).read("writes")
+
+    def responses(self, node: str) -> frozenset[tuple]:
+        """Every GET response a store replica ever emitted."""
+        return self.cluster.node(node).output_history("getr")
+
+    @property
+    def stores_converged(self) -> bool:
+        """LWW convergence: do the store replicas hold one write set?"""
+        sets = [self.store_writes(node) for node in self.store_nodes]
+        return all(s == sets[0] for s in sets[1:])
+
+    @property
+    def caches_agree(self) -> bool:
+        """Confluence: did the cache replicas pin the same responses?"""
+        sets = [self.cache_entries(node) for node in self.cache_nodes]
+        return all(s == sets[0] for s in sets[1:])
+
+    def ground_truth_cache(self) -> frozenset[tuple]:
+        """Deterministic expectation: every get answered with the final
+        LWW winner of its key (what the sealed deployment commits)."""
+        winners = self.workload.winners()
+        client = self.cluster.network.process(CLIENT)
+        assert isinstance(client, KvsClient)
+        return frozenset(
+            (reqid, key, winners[key]) for reqid, key in client.planned_gets
+        )
+
+
+def run_kvs(
+    strategy: str,
+    *,
+    workload: KvsWorkload | None = None,
+    seed: int = 0,
+    workload_seed: int | None = None,
+    max_events: int | None = None,
+    chaos: Callable[[BloomCluster], None] | None = None,
+) -> KvsResult:
+    """Execute the two-tier KVS under one coordination regime.
+
+    ``seed`` drives network nondeterminism, ``workload_seed`` (defaulting
+    to ``seed``) the planned writes/gets.  All client sessions (the seal
+    stream *and* plain inserts) ride reliable, TCP-like channels: a link
+    partition delays traffic rather than destroying it, so any divergence
+    the run exhibits is attributable to delivery *order* — exactly the
+    nondeterminism the labels reason about.  ``chaos`` receives the built
+    cluster before it runs.
+    """
+    if strategy not in KVS_STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; have {KVS_STRATEGIES}")
+    workload = workload or KvsWorkload()
+    workload_seed = seed if workload_seed is None else workload_seed
+    cluster = BloomCluster(
+        seed=seed,
+        latency=LatencyModel(base=0.002, jitter=0.004),
+        reliable_kinds=(SEAL_DATA, SEAL_PUNCT, INSERT_MSG),
+    )
+    store_nodes = [f"store{i}" for i in range(workload.store_replicas)]
+    cache_nodes = [f"cache{i}" for i in range(workload.store_replicas)]
+    for store_name, cache_name in zip(store_nodes, cache_nodes):
+        store = cluster.add_node(store_name, LwwKvs())
+        cluster.add_node(cache_name, SnapshotCache())
+        if strategy == "sealed":
+            SealedKvsAdapter(store)
+        _attach_response_forwarder(store, cache_name)
+    client = KvsClient(
+        workload=workload,
+        strategy=strategy,
+        store_nodes=store_nodes,
+        seed=workload_seed,
+    )
+    cluster.network.register(client)
+    if chaos is not None:
+        chaos(cluster)
+    cluster.run(max_events=max_events)
+    return KvsResult(
+        strategy=strategy,
+        workload=workload,
+        cluster=cluster,
+        store_nodes=store_nodes,
+        cache_nodes=cache_nodes,
+    )
+
+
+def _attach_response_forwarder(store: BloomNode, cache_name: str) -> None:
+    """Ship a store's fresh GET responses to its paired cache replica."""
+    seen: set[tuple] = set()
+
+    def forward(_outputs) -> None:
+        history = store.outputs_log["getr"]
+        fresh = history - seen
+        if fresh:
+            seen.update(fresh)
+            store.send(cache_name, INSERT_MSG, ("response", sorted(fresh)))
+
+    store.on_tick = forward

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import bisect
 import random
+from collections.abc import Callable
 
 from repro.core.analysis import AnalysisResult, analyze
 from repro.core.graph import Dataflow
@@ -27,10 +28,15 @@ __all__ = [
     "SplitterBolt",
     "CountBolt",
     "CommitBolt",
+    "EagerCountBolt",
+    "EagerCommitBolt",
     "build_wordcount_topology",
     "wordcount_dataflow",
     "analyze_wordcount",
     "run_wordcount",
+    "reference_counts",
+    "eager_reference_totals",
+    "committed_store",
 ]
 
 
@@ -171,6 +177,56 @@ class CommitBolt(Bolt):
         self._pending.pop(batch_id, None)
 
 
+class EagerCountBolt(Bolt):
+    """The *unsealed* counter: emits a running total on every word.
+
+    This is the topology the paper warns about (Section VI-A without the
+    batch seal): the cumulative counter spans batches, so the stream of
+    ``(word, total)`` records depends on the interleaving of batches and
+    replay attempts — order-sensitive with gate ``{word}`` and nothing
+    protecting it.
+    """
+
+    output_fields = Fields("word", "count")
+    blazes_annotations = [
+        {"from": "words", "to": "counts", "label": "OW", "subscript": ["word"]}
+    ]
+
+    def __init__(self) -> None:
+        self._totals: dict[str, int] = {}
+
+    def execute(self, tup, emit) -> None:
+        word = tup[0]
+        self._totals[word] = self._totals.get(word, 0) + 1
+        emit((word, self._totals[word]))
+
+
+class EagerCommitBolt(Bolt):
+    """Last-writer-wins commit of running totals (order-sensitive).
+
+    The store is keyed by ``word`` alone and overwritten on every record:
+    whichever total arrives last sticks.  Cross-batch and cross-attempt
+    races make the final store a function of delivery order — the ``Run``
+    anomaly the unsealed analysis predicts, made observable.
+    """
+
+    output_fields = Fields()
+    blazes_annotations = [
+        {"from": "counts", "to": "db", "label": "OW", "subscript": ["word"]}
+    ]
+
+    def __init__(self) -> None:
+        self.store: dict[str, int] = {}
+        self.commits = 0
+
+    def execute(self, tup, emit) -> None:
+        word, count = tup.values
+        self.store[word] = count
+
+    def finish_batch(self, batch_id: int, emit) -> None:
+        self.commits += 1
+
+
 def build_wordcount_topology(
     *,
     workers: int = 5,
@@ -179,11 +235,18 @@ def build_wordcount_topology(
     total_batches: int = 20,
     batch_size: int = 50,
     seed: int = 0,
+    eager: bool = False,
 ) -> Topology:
-    """Wire the Figure 2 topology for a given cluster size."""
+    """Wire the Figure 2 topology for a given cluster size.
+
+    ``eager=True`` swaps in the unsealed, order-sensitive variant
+    (:class:`EagerCountBolt`/:class:`EagerCommitBolt`): the same shape,
+    but cumulative counts committed last-writer-wins — the uncoordinated
+    deployment whose analysis predicts ``Run``.
+    """
     spouts = spouts if spouts is not None else max(1, workers // 2)
     committers = committers if committers is not None else max(1, workers // 2)
-    builder = TopologyBuilder("wordcount")
+    builder = TopologyBuilder("wordcount-eager" if eager else "wordcount")
     builder.set_spout(
         "tweets",
         lambda: TweetSpout(
@@ -194,25 +257,76 @@ def build_wordcount_topology(
     builder.set_bolt("Splitter", SplitterBolt, parallelism=workers).shuffle_grouping(
         "tweets"
     )
-    builder.set_bolt("Count", CountBolt, parallelism=workers).fields_grouping(
+    count_bolt = EagerCountBolt if eager else CountBolt
+    commit_bolt = EagerCommitBolt if eager else CommitBolt
+    builder.set_bolt("Count", count_bolt, parallelism=workers).fields_grouping(
         "Splitter", "word"
     )
-    builder.set_bolt("Commit", CommitBolt, parallelism=committers).fields_grouping(
+    builder.set_bolt("Commit", commit_bolt, parallelism=committers).fields_grouping(
         "Count", "word"
     )
     return builder.build()
 
 
-def wordcount_dataflow(*, sealed: bool) -> Dataflow:
+def wordcount_dataflow(*, sealed: bool, eager: bool = False) -> Dataflow:
     """The grey-box dataflow of the word-count topology."""
-    topology = build_wordcount_topology(workers=1, total_batches=1)
+    topology = build_wordcount_topology(workers=1, total_batches=1, eager=eager)
     seals = {"tweets": ["batch"]} if sealed else None
     return topology_to_dataflow(topology, seals=seals)
 
 
-def analyze_wordcount(*, sealed: bool) -> AnalysisResult:
+def analyze_wordcount(*, sealed: bool, eager: bool = False) -> AnalysisResult:
     """Run the Blazes analysis on the word-count dataflow."""
-    return analyze(wordcount_dataflow(sealed=sealed))
+    return analyze(wordcount_dataflow(sealed=sealed, eager=eager))
+
+
+def reference_counts(
+    total_batches: int, batch_size: int, seed: int = 0
+) -> dict[tuple[str, int], int]:
+    """Ground truth: sequentially count the spout's words per batch."""
+    spout = TweetSpout(total_batches=total_batches, batch_size=batch_size, seed=seed)
+    counts: dict[tuple[str, int], int] = {}
+    for batch in range(total_batches):
+        for (tweet,) in spout.next_batch(batch):
+            for word in tweet.split():
+                key = (word, batch)
+                counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def eager_reference_totals(
+    total_batches: int, batch_size: int, seed: int = 0
+) -> dict[str, int]:
+    """Ground truth for the eager variant: total occurrences per word.
+
+    This is what an exactly-once, order-insensitive deployment would
+    commit; the eager topology only matches it by luck.
+    """
+    totals: dict[str, int] = {}
+    for (word, _batch), count in reference_counts(
+        total_batches, batch_size, seed
+    ).items():
+        totals[word] = totals.get(word, 0) + count
+    return totals
+
+
+def committed_store(cluster: StormCluster) -> dict:
+    """Merge the terminal bolt's per-task stores (quiescence hook).
+
+    Works for both variants: keys are ``(word, batch)`` for the sealed
+    topology and bare ``word`` for the eager one.  Key spaces must be
+    disjoint across tasks (fields grouping guarantees it).
+    """
+    store: dict = {}
+    for name in cluster.acker_tasks:
+        task = cluster.bolt_task(name)
+        overlap = set(store) & set(task.bolt.store)
+        if overlap:
+            raise AssertionError(
+                f"same key committed on two tasks: {sorted(overlap)[:5]}"
+            )
+        store.update(task.bolt.store)
+    return store
 
 
 def run_wordcount(
@@ -227,6 +341,9 @@ def run_wordcount(
     max_events: int | None = None,
     frame_size: int = 1,
     parallelism: dict[str, int] | None = None,
+    eager: bool = False,
+    chaos: Callable[[StormCluster], None] | None = None,
+    workload_seed: int | None = None,
 ) -> tuple[RunMetrics, StormCluster]:
     """Execute the topology and return (metrics, finished cluster).
 
@@ -238,12 +355,22 @@ def run_wordcount(
     ``frame_size`` batches channel delivery (tuples per simulated
     message); ``parallelism`` overrides per-component replica counts,
     e.g. ``{"Count": 8}``.
+
+    ``eager`` runs the unsealed, order-sensitive topology variant, and
+    ``chaos`` is the fault-injection hook: it receives the built (not yet
+    running) cluster, so ``repro.chaos`` schedules can arm a
+    :class:`~repro.sim.failure.FailureInjector` before the first event.
+    ``workload_seed`` (defaulting to ``seed``) pins the generated tweets,
+    so several ``seed`` values can explore delivery interleavings of one
+    workload — the cross-run comparison the chaos oracle performs.
     """
+    workload_seed = seed if workload_seed is None else workload_seed
     topology = build_wordcount_topology(
         workers=workers,
         total_batches=total_batches,
         batch_size=batch_size,
-        seed=seed,
+        seed=workload_seed,
+        eager=eager,
     )
     config = ClusterConfig(
         seed=seed,
@@ -260,5 +387,7 @@ def run_wordcount(
         },
     )
     cluster = StormCluster(topology, config)
+    if chaos is not None:
+        chaos(cluster)
     cluster.run(max_events=max_events)
     return collect_metrics(cluster, batch_size), cluster

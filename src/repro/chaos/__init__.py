@@ -1,0 +1,83 @@
+"""Fault-injection campaigns with a runtime consistency oracle.
+
+The label analysis (:mod:`repro.core`) is *predictive*: it says which
+Figure 8 anomalies a dataflow can exhibit and synthesizes coordination
+that makes them impossible.  This package audits that claim empirically,
+in the spirit of the paper's Section VII evaluation:
+
+* :mod:`repro.chaos.schedule` — a declarative, composable fault-schedule
+  DSL (crash/recover, loss and duplication windows, link partitions,
+  reorder bursts) compiled onto :class:`repro.sim.failure.FailureInjector`;
+* :mod:`repro.chaos.oracle` — consistency oracles that classify a *set*
+  of seeded runs into the Figure 8 severity lattice by comparing committed
+  outputs across seeds (``Run``), across replicas after quiescence
+  (``Inst``/``Diverge``), and against app ground truth (``Async`` vs
+  exactly-once);
+* :mod:`repro.chaos.harnesses` — per-app adapters (wordcount, ad network,
+  KVS) that run one (strategy, schedule, seed) cell and extract a
+  :class:`~repro.chaos.oracle.RunObservation`;
+* :mod:`repro.chaos.campaign` — the campaign runner sweeping
+  (app x strategy x schedule x seeds), joining each observed severity
+  against the label predicted by :func:`repro.core.analysis.analyze` into
+  a soundness verdict (``observed <= predicted``), reported through
+  :mod:`repro.bench`.
+
+See ``docs/chaos.md`` for the observed-vs-predicted mapping to paper
+Figure 8 and Section VII.
+"""
+
+from repro.chaos.campaign import (
+    audit_campaign,
+    campaign_is_sound,
+    default_schedules,
+    demonstrated_anomalies,
+    render_audit,
+)
+from repro.chaos.harnesses import AppHarness, HARNESSES, harness_for
+from repro.chaos.oracle import (
+    ObservedLabel,
+    OracleVerdict,
+    RunObservation,
+    classify_runs,
+)
+from repro.chaos.schedule import (
+    Crash,
+    Duplicate,
+    FaultSchedule,
+    Loss,
+    Partition,
+    Reorder,
+    baseline,
+    crash_restart,
+    dup_burst,
+    loss_burst,
+    reorder_burst,
+    split_link,
+)
+
+__all__ = [
+    "AppHarness",
+    "Crash",
+    "Duplicate",
+    "FaultSchedule",
+    "HARNESSES",
+    "Loss",
+    "ObservedLabel",
+    "OracleVerdict",
+    "Partition",
+    "Reorder",
+    "RunObservation",
+    "audit_campaign",
+    "baseline",
+    "campaign_is_sound",
+    "classify_runs",
+    "crash_restart",
+    "default_schedules",
+    "demonstrated_anomalies",
+    "dup_burst",
+    "harness_for",
+    "loss_burst",
+    "render_audit",
+    "reorder_burst",
+    "split_link",
+]

@@ -1,0 +1,150 @@
+"""The audit campaign: sweep (app x strategy x schedule x seeds), judge.
+
+Each campaign cell runs one app under one coordination strategy and one
+fault schedule, for several network seeds of the *same* workload.  The
+:mod:`~repro.chaos.oracle` classifies the observed runs into the Figure 8
+lattice and the cell's verdict joins that against the label predicted by
+:func:`repro.core.analysis.analyze`:
+
+    sound  <=>  observed severity <= predicted severity
+
+A sound campaign is the empirical side of the paper's Section VII story:
+coordinated deployments never exhibit anomalies beyond their label, and
+the uncoordinated ones demonstrably do exhibit theirs (``Run`` for the
+unsealed word count, ``Inst``/``Diverge`` for the replicated apps).
+
+Results flow through :mod:`repro.bench`, so ``blazes audit`` and
+``benchmarks/bench_fig14_fault_audit.py`` get the standard scenario
+table and ``BENCH_<name>.json`` record for free.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.bench import BenchReport, Scenario, run_bench
+from repro.chaos.harnesses import harness_for
+from repro.chaos.oracle import ObservedLabel, classify_runs
+from repro.chaos.schedule import FaultSchedule
+
+__all__ = [
+    "DEFAULT_APPS",
+    "DEFAULT_SEEDS",
+    "DEFAULT_SMOKE_SEEDS",
+    "audit_campaign",
+    "campaign_is_sound",
+    "default_schedules",
+    "demonstrated_anomalies",
+    "render_audit",
+]
+
+DEFAULT_APPS = ("wordcount", "adnet", "kvs")
+DEFAULT_SEEDS = (7, 11, 13)
+DEFAULT_SMOKE_SEEDS = (7, 11)
+
+
+def default_schedules(app: str, *, smoke: bool = False) -> tuple[FaultSchedule, ...]:
+    """The fault schedules an app's campaign sweeps by default."""
+    return harness_for(app, smoke=smoke).schedules
+
+
+def audit_campaign(
+    apps: Sequence[str] = DEFAULT_APPS,
+    *,
+    smoke: bool = False,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    schedules: Sequence[str] | None = None,
+    name: str = "audit",
+    reporter=None,
+    verbose: bool = False,
+) -> BenchReport:
+    """Run the full audit sweep and return its :class:`BenchReport`.
+
+    ``schedules`` optionally restricts every app to the named subset of
+    its default schedules (unknown names are skipped per app).  Each
+    scenario's metrics carry the predicted and observed labels, their
+    severities, the soundness verdict, and the oracle's evidence lines.
+    """
+    scenarios: list[Scenario] = []
+    for app in apps:
+        harness = harness_for(app, smoke=smoke)
+        for strategy in harness.strategies:
+            for schedule in harness.schedules:
+                if schedules is not None and schedule.name not in schedules:
+                    continue
+                scenarios.append(
+                    Scenario(
+                        f"{app}/{strategy}/{schedule.name}",
+                        {
+                            "app": app,
+                            "strategy": strategy,
+                            "schedule": schedule.name,
+                            "smoke": smoke,
+                            "seeds": list(seeds),
+                        },
+                    )
+                )
+
+    def fn(*, app: str, strategy: str, schedule: str, smoke: bool, seeds: list) -> dict:
+        harness = harness_for(app, smoke=smoke)
+        sched = harness.schedule_named(schedule)
+        observations = [harness.observe(strategy, sched, seed) for seed in seeds]
+        verdict = classify_runs(observations)
+        predicted = harness.predicted(strategy)
+        return {
+            "predicted": str(predicted),
+            "predicted_severity": predicted.severity,
+            "observed": str(verdict.observed),
+            "observed_severity": verdict.observed.severity,
+            "sound": verdict.sound_for(predicted),
+            "coordinated": strategy in harness.coordinated,
+            "runs": len(observations),
+            "evidence": list(verdict.evidence),
+        }
+
+    return run_bench(name, scenarios, fn, reporter=reporter, verbose=verbose)
+
+
+def campaign_is_sound(report: BenchReport) -> bool:
+    """Did every cell observe within its predicted label?"""
+    return all(result["sound"] for result in report)
+
+
+def demonstrated_anomalies(report: BenchReport) -> dict[str, str]:
+    """Uncoordinated cells that empirically exhibited ``Run`` or worse.
+
+    This is the completeness half of the audit: the labels are not vacuous
+    — remove the coordination and the predicted anomalies actually occur.
+    """
+    return {
+        result.name: result["observed"]
+        for result in report
+        if not result["coordinated"]
+        and result["observed_severity"] >= ObservedLabel.RUN.severity
+    }
+
+
+def render_audit(report: BenchReport, *, evidence: bool = False) -> str:
+    """The human-readable audit verdict: table plus summary lines."""
+    lines = [report.table("predicted", "observed", "sound")]
+    anomalies = demonstrated_anomalies(report)
+    unsound = [result.name for result in report if not result["sound"]]
+    lines.append("")
+    if unsound:
+        lines.append(f"UNSOUND cells ({len(unsound)}): " + ", ".join(unsound))
+    else:
+        lines.append(
+            f"sound: all {len(report)} cells observed <= predicted (Figure 8)"
+        )
+    if anomalies:
+        rendered = ", ".join(f"{k} -> {v}" for k, v in sorted(anomalies.items()))
+        lines.append(f"anomalies demonstrated without coordination: {rendered}")
+    else:
+        lines.append("anomalies demonstrated without coordination: none")
+    if evidence:
+        for result in report:
+            if result["evidence"]:
+                lines.append("")
+                lines.append(f"{result.name}:")
+                lines.extend(f"  {item}" for item in result["evidence"])
+    return "\n".join(lines)

@@ -1,0 +1,277 @@
+"""The fault-schedule DSL: declarative, composable, app-agnostic.
+
+A :class:`FaultSchedule` is an immutable value describing *what goes wrong
+when*, in normalized time (fractions of a run's horizon) and in terms of
+symbolic *roles* ("worker", "source", "client") rather than concrete
+process names.  At run time the campaign scales the schedule to the app's
+virtual-time horizon and compiles it onto a
+:class:`repro.sim.failure.FailureInjector`, resolving roles through the
+app harness.  The same "crash worker 0 at 20% for 30%" schedule therefore
+applies to a Storm count task, a Bloom reporting replica, or a KVS store
+node.
+
+Primitives mirror the injector: :class:`Crash` (crash/recover),
+:class:`Loss` and :class:`Duplicate` (probability windows),
+:class:`Partition` (severed links), :class:`Reorder` (latency-jitter
+bursts).  Schedules compose with ``+`` and transform with
+:meth:`FaultSchedule.scaled` / :meth:`FaultSchedule.shifted`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+
+from repro.errors import SimulationError
+from repro.sim.failure import FailureInjector
+
+__all__ = [
+    "Crash",
+    "Duplicate",
+    "FaultSchedule",
+    "Loss",
+    "Partition",
+    "Reorder",
+    "ResolveRole",
+    "baseline",
+    "crash_restart",
+    "dup_burst",
+    "loss_burst",
+    "reorder_burst",
+    "split_link",
+]
+
+# role resolution: (role, index) -> concrete process name
+ResolveRole = Callable[[str, int], str]
+
+
+@dataclasses.dataclass(frozen=True)
+class Crash:
+    """Crash one process at ``at``, recover ``duration`` later."""
+
+    role: str
+    index: int
+    at: float
+    duration: float
+
+    def compile(self, injector: FailureInjector, resolve: ResolveRole) -> None:
+        injector.crash_for(resolve(self.role, self.index), self.at, self.duration)
+
+    def rescaled(self, factor: float, offset: float) -> "Crash":
+        return dataclasses.replace(
+            self, at=self.at * factor + offset, duration=self.duration * factor
+        )
+
+    @property
+    def end(self) -> float:
+        return self.at + self.duration
+
+
+@dataclasses.dataclass(frozen=True)
+class Loss:
+    """Elevated message-loss probability during a window."""
+
+    at: float
+    duration: float
+    drop_prob: float
+
+    def compile(self, injector: FailureInjector, resolve: ResolveRole) -> None:
+        injector.loss_window(self.at, self.duration, self.drop_prob)
+
+    def rescaled(self, factor: float, offset: float) -> "Loss":
+        return dataclasses.replace(
+            self, at=self.at * factor + offset, duration=self.duration * factor
+        )
+
+    @property
+    def end(self) -> float:
+        return self.at + self.duration
+
+
+@dataclasses.dataclass(frozen=True)
+class Duplicate:
+    """Elevated message-duplication probability during a window."""
+
+    at: float
+    duration: float
+    dup_prob: float
+
+    def compile(self, injector: FailureInjector, resolve: ResolveRole) -> None:
+        injector.duplicate_window(self.at, self.duration, self.dup_prob)
+
+    def rescaled(self, factor: float, offset: float) -> "Duplicate":
+        return dataclasses.replace(
+            self, at=self.at * factor + offset, duration=self.duration * factor
+        )
+
+    @property
+    def end(self) -> float:
+        return self.at + self.duration
+
+
+@dataclasses.dataclass(frozen=True)
+class Partition:
+    """Sever the link between two role-addressed processes for a window."""
+
+    src_role: str
+    src_index: int
+    dst_role: str
+    dst_index: int
+    at: float
+    duration: float
+    symmetric: bool = True
+
+    def compile(self, injector: FailureInjector, resolve: ResolveRole) -> None:
+        injector.partition(
+            resolve(self.src_role, self.src_index),
+            resolve(self.dst_role, self.dst_index),
+            self.at,
+            self.duration,
+            symmetric=self.symmetric,
+        )
+
+    def rescaled(self, factor: float, offset: float) -> "Partition":
+        return dataclasses.replace(
+            self, at=self.at * factor + offset, duration=self.duration * factor
+        )
+
+    @property
+    def end(self) -> float:
+        return self.at + self.duration
+
+
+@dataclasses.dataclass(frozen=True)
+class Reorder:
+    """Inflate latency jitter by ``factor`` during a window (reorder burst)."""
+
+    at: float
+    duration: float
+    factor: float
+
+    def compile(self, injector: FailureInjector, resolve: ResolveRole) -> None:
+        injector.reorder_window(self.at, self.duration, self.factor)
+
+    def rescaled(self, factor: float, offset: float) -> "Reorder":
+        return dataclasses.replace(
+            self, at=self.at * factor + offset, duration=self.duration * factor
+        )
+
+    @property
+    def end(self) -> float:
+        return self.at + self.duration
+
+
+Fault = Crash | Loss | Duplicate | Partition | Reorder
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable, composable set of timed faults.
+
+    Times are conventionally *normalized* to ``[0, 1]`` and scaled to an
+    app's horizon with :meth:`scaled` just before :meth:`apply`; nothing
+    enforces that convention, so absolute-time schedules work too.
+    """
+
+    name: str
+    faults: tuple[Fault, ...] = ()
+
+    def __add__(self, other: "FaultSchedule") -> "FaultSchedule":
+        if not isinstance(other, FaultSchedule):
+            return NotImplemented
+        return FaultSchedule(f"{self.name}+{other.name}", self.faults + other.faults)
+
+    def scaled(self, factor: float) -> "FaultSchedule":
+        """Multiply every ``at``/``duration`` by ``factor``."""
+        if factor <= 0:
+            raise SimulationError(f"schedule scale factor must be > 0, got {factor}")
+        return FaultSchedule(
+            self.name, tuple(f.rescaled(factor, 0.0) for f in self.faults)
+        )
+
+    def shifted(self, offset: float) -> "FaultSchedule":
+        """Delay every fault by ``offset`` time units."""
+        return FaultSchedule(
+            self.name, tuple(f.rescaled(1.0, offset) for f in self.faults)
+        )
+
+    @property
+    def horizon(self) -> float:
+        """Virtual time by which every fault has begun and ended."""
+        return max((f.end for f in self.faults), default=0.0)
+
+    @property
+    def roles(self) -> frozenset[str]:
+        """Every symbolic role the schedule targets (for harness checks)."""
+        names: set[str] = set()
+        for fault in self.faults:
+            for attr in ("role", "src_role", "dst_role"):
+                value = getattr(fault, attr, None)
+                if value is not None:
+                    names.add(value)
+        return frozenset(names)
+
+    def apply(self, injector: FailureInjector, resolve: ResolveRole) -> None:
+        """Compile every fault onto ``injector``, resolving roles."""
+        for fault in self.faults:
+            fault.compile(injector, resolve)
+
+    def describe(self) -> str:
+        if not self.faults:
+            return f"{self.name}: no faults"
+        lines = [f"{self.name}:"]
+        for fault in self.faults:
+            lines.append(f"  {fault!r}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# the canonical schedule library (normalized time)
+# ----------------------------------------------------------------------
+def baseline() -> FaultSchedule:
+    """No injected faults: only the network's inherent reordering."""
+    return FaultSchedule("baseline")
+
+
+def crash_restart(
+    role: str = "worker", index: int = 0, *, at: float = 0.15, duration: float = 0.3
+) -> FaultSchedule:
+    """Crash one process mid-run and bring it back."""
+    return FaultSchedule("crash-restart", (Crash(role, index, at, duration),))
+
+
+def loss_burst(
+    *, at: float = 0.1, duration: float = 0.25, drop_prob: float = 0.4
+) -> FaultSchedule:
+    """A transient spike of message loss."""
+    return FaultSchedule("loss-burst", (Loss(at, duration, drop_prob),))
+
+
+def dup_burst(
+    *, at: float = 0.1, duration: float = 0.4, dup_prob: float = 0.5
+) -> FaultSchedule:
+    """A transient spike of at-least-once duplication."""
+    return FaultSchedule("dup-burst", (Duplicate(at, duration, dup_prob),))
+
+
+def reorder_burst(
+    *, at: float = 0.05, duration: float = 0.6, factor: float = 8.0
+) -> FaultSchedule:
+    """A sustained latency-jitter inflation: heavy reordering, no loss."""
+    return FaultSchedule("reorder-burst", (Reorder(at, duration, factor),))
+
+
+def split_link(
+    src_role: str = "source",
+    src_index: int = 0,
+    dst_role: str = "worker",
+    dst_index: int = 0,
+    *,
+    at: float = 0.15,
+    duration: float = 0.3,
+) -> FaultSchedule:
+    """Partition one producer/consumer pair, then heal."""
+    return FaultSchedule(
+        "split-link",
+        (Partition(src_role, src_index, dst_role, dst_index, at, duration),),
+    )

@@ -10,6 +10,10 @@ Subcommands:
     Execute the Storm word-count topology on the simulator.
 ``blazes adreport [--strategy S] [--servers N] ...``
     Execute the ad-tracking network under one coordination regime.
+``blazes audit [--smoke] [--apps LIST] ...``
+    Run the fault-injection audit campaign: every (app, strategy, fault
+    schedule) cell is executed for several seeds and the observed anomaly
+    is checked against the label the analysis predicted.
 """
 
 from __future__ import annotations
@@ -63,6 +67,28 @@ def build_parser() -> argparse.ArgumentParser:
     ad_cmd.add_argument("--servers", type=int, default=5)
     ad_cmd.add_argument("--entries", type=int, default=500)
     ad_cmd.add_argument("--seed", type=int, default=0)
+
+    audit_cmd = sub.add_parser(
+        "audit", help="fault-injection audit of the label analysis"
+    )
+    audit_cmd.add_argument(
+        "--smoke", action="store_true", help="CI-sized workloads and seeds"
+    )
+    audit_cmd.add_argument(
+        "--apps",
+        default="wordcount,adnet,kvs",
+        help="comma-separated subset of wordcount,adnet,kvs",
+    )
+    audit_cmd.add_argument(
+        "--seeds", type=int, nargs="+", default=None,
+        help="network seeds per campaign cell",
+    )
+    audit_cmd.add_argument(
+        "--evidence", action="store_true", help="print oracle evidence lines"
+    )
+    audit_cmd.add_argument(
+        "--no-report", action="store_true", help="skip writing BENCH_audit*.json"
+    )
     return parser
 
 
@@ -80,6 +106,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_wordcount(args)
         if args.command == "adreport":
             return _cmd_adreport(args)
+        if args.command == "audit":
+            return _cmd_audit(args)
     except BlazesError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -153,6 +181,27 @@ def _cmd_adreport(args) -> int:
         bar = "#" * int(60 * count / max(1, result.workload.total_entries))
         print(f"  t={time:8.2f}s {count:6d} {bar}")
     return 0
+
+
+def _cmd_audit(args) -> int:
+    from repro.bench import JsonReporter
+    from repro.chaos import audit_campaign, campaign_is_sound, render_audit
+    from repro.chaos.campaign import DEFAULT_SEEDS, DEFAULT_SMOKE_SEEDS
+
+    apps = tuple(name for name in args.apps.split(",") if name)
+    if args.seeds:
+        seeds = tuple(args.seeds)
+    else:
+        seeds = DEFAULT_SMOKE_SEEDS if args.smoke else DEFAULT_SEEDS
+    name = "audit-smoke" if args.smoke else "audit"
+    reporter = None if args.no_report else JsonReporter()
+    report = audit_campaign(
+        apps, smoke=args.smoke, seeds=seeds, name=name, reporter=reporter
+    )
+    print(render_audit(report, evidence=args.evidence))
+    if reporter is not None:
+        print(f"\nwrote {reporter.path_for(name)}")
+    return 0 if campaign_is_sound(report) else 4
 
 
 if __name__ == "__main__":

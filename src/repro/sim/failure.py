@@ -1,27 +1,35 @@
 """Fault injection for simulated runs.
 
-Two fault classes matter for the paper's anomaly taxonomy:
+Four fault classes matter for the paper's anomaly taxonomy:
 
 * **crash / recover** — a crashed process silently drops deliveries, which
   exercises replay-based fault tolerance (Storm) and replication (Bloom);
 * **message-loss windows** — transient elevated loss, which exercises
-  at-least-once redelivery.
+  at-least-once redelivery;
+* **duplication windows** — transient at-least-once duplication, which
+  exercises idempotence (set semantics, sequence-number dedup);
+* **link partitions and reorder bursts** — severed process pairs and
+  inflated latency jitter, which exercise the delivery-order nondeterminism
+  the Blazes labels predict (``repro.chaos`` compiles its fault-schedule
+  DSL onto these primitives).
 """
 
 from __future__ import annotations
 
-from repro.sim.network import Network, Process
+from repro.sim.network import LatencyModel, Network, Process
 
 __all__ = ["FailureInjector"]
 
 
 class FailureInjector:
-    """Schedules crashes, recoveries, and loss windows on a network."""
+    """Schedules crashes, loss/dup windows, partitions on a network."""
 
     def __init__(self, network: Network) -> None:
         self.network = network
         self.crashes: list[tuple[float, str]] = []
         self.recoveries: list[tuple[float, str]] = []
+        self.partitions: list[tuple[float, str, str]] = []
+        self.heals: list[tuple[float, str, str]] = []
 
     def crash(self, process_name: str, at: float) -> None:
         """Crash ``process_name`` at virtual time ``at``."""
@@ -49,6 +57,74 @@ class FailureInjector:
 
         def _restore(previous: float) -> None:
             network.drop_prob = previous
+
+        network.sim.schedule_at(at, begin)
+
+    def duplicate_window(self, at: float, duration: float, dup_prob: float) -> None:
+        """Raise the network duplication probability temporarily."""
+        network = self.network
+
+        def begin() -> None:
+            previous = network.dup_prob
+            network.dup_prob = dup_prob
+            network.sim.schedule(duration, lambda: _restore(previous))
+
+        def _restore(previous: float) -> None:
+            network.dup_prob = previous
+
+        network.sim.schedule_at(at, begin)
+
+    def partition(
+        self,
+        src: str,
+        dst: str,
+        at: float,
+        duration: float,
+        *,
+        symmetric: bool = True,
+    ) -> None:
+        """Sever the ``src``/``dst`` link at ``at``; heal after ``duration``.
+
+        Messages crossing a severed link while it is down are dropped
+        (reliable kinds are retried until the link heals, modeling TCP).
+        ``symmetric=False`` severs only the ``src -> dst`` direction.
+        """
+        network = self.network
+        # raise early on unknown names, like crash()/recover() do
+        network.process(src)
+        network.process(dst)
+        links = [(src, dst)] + ([(dst, src)] if symmetric else [])
+
+        def begin() -> None:
+            for a, b in links:
+                network.block_link(a, b)
+                self.partitions.append((network.sim.now, a, b))
+            network.sim.schedule(duration, heal)
+
+        def heal() -> None:
+            for a, b in links:
+                network.unblock_link(a, b)
+                self.heals.append((network.sim.now, a, b))
+
+        network.sim.schedule_at(at, begin)
+
+    def reorder_window(self, at: float, duration: float, factor: float) -> None:
+        """Inflate latency jitter by ``factor`` temporarily (reorder burst).
+
+        Higher jitter widens the delivery-time spread of back-to-back
+        messages, so more pairs arrive out of order — nondeterminism
+        without loss, the fault class the Blazes labels are really about.
+        """
+        network = self.network
+
+        def begin() -> None:
+            previous = network.latency
+            jitter = previous.jitter if previous.jitter > 0 else previous.base
+            network.latency = LatencyModel(previous.base, jitter * factor)
+            network.sim.schedule(duration, lambda: _restore(previous))
+
+        def _restore(previous: LatencyModel) -> None:
+            network.latency = previous
 
         network.sim.schedule_at(at, begin)
 

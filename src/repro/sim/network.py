@@ -113,12 +113,16 @@ class Network:
         self.dup_prob = dup_prob
         self.reliable_kinds = frozenset(reliable_kinds)
         self._processes: dict[str, Process] = {}
+        # reference-counted so overlapping partitions on one link don't
+        # heal early when the first window closes
+        self._blocked_links: dict[tuple[str, str], int] = {}
         self._uid = 0
         self._observers: list[Callable[[Message], None]] = []
         self.sent = 0
         self.delivered = 0
         self.dropped = 0
         self.duplicated = 0
+        self.retried = 0
 
     def register(self, process: Process) -> Process:
         """Attach a process to this network; names must be unique."""
@@ -141,6 +145,26 @@ class Network:
     def observe(self, callback: Callable[[Message], None]) -> None:
         """Register a delivery observer (tracing, assertions)."""
         self._observers.append(callback)
+
+    # ------------------------------------------------------------------
+    # link partitions
+    # ------------------------------------------------------------------
+    def block_link(self, src: str, dst: str) -> None:
+        """Sever the directed link ``src -> dst`` (a network partition)."""
+        key = (src, dst)
+        self._blocked_links[key] = self._blocked_links.get(key, 0) + 1
+
+    def unblock_link(self, src: str, dst: str) -> None:
+        """Heal one severing of ``src -> dst`` (no-op when not blocked)."""
+        key = (src, dst)
+        count = self._blocked_links.get(key, 0)
+        if count <= 1:
+            self._blocked_links.pop(key, None)
+        else:
+            self._blocked_links[key] = count - 1
+
+    def link_blocked(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._blocked_links
 
     def start(self) -> None:
         """Invoke every process's ``on_start`` hook."""
@@ -172,6 +196,17 @@ class Network:
             self.sim.schedule(delay, lambda m=msg: self._deliver(m))
 
     def _deliver(self, msg: Message) -> None:
+        if (msg.src, msg.dst) in self._blocked_links:
+            # Reliable kinds model TCP-backed sessions: the transport keeps
+            # retransmitting until the partition heals, so the message is
+            # delayed, not lost.  Everything else is dropped on the floor.
+            if msg.kind in self.reliable_kinds:
+                self.retried += 1
+                delay = self.latency.base + self.latency.sample(self.sim.rng)
+                self.sim.schedule(delay, lambda m=msg: self._deliver(m))
+                return
+            self.dropped += 1
+            return
         process = self._processes.get(msg.dst)
         if process is None or process.crashed:
             self.dropped += 1

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.apps.kvs import LwwKvs, SnapshotCache, kvs_dataflow
+from repro.apps.kvs import LwwKvs, SnapshotCache, kvs_dataflow, run_kvs
 from repro.bloom.analysis import analyze_module
 from repro.bloom.runtime import BloomRuntime
 from repro.core import LabelKind, OrderStrategy, SealStrategy, analyze, choose_strategies
@@ -109,3 +110,30 @@ class TestBlazesDiagnosis:
         assert result.label_of("cached").kind is LabelKind.ASYNC
         plan = choose_strategies(result)
         assert isinstance(plan.strategy_for("Store"), SealStrategy)
+
+
+class TestKvsCluster:
+    """The runnable two-tier deployment (chaos-audit workload)."""
+
+    def test_sealed_run_is_exactly_once_and_deterministic(self):
+        results = [run_kvs("sealed", seed=seed, workload_seed=7) for seed in (7, 11)]
+        for result in results:
+            assert result.caches_agree
+            assert result.cache_entries("cache0") == result.ground_truth_cache()
+
+    def test_uncoordinated_stores_converge_but_caches_diverge(self):
+        result = run_kvs("uncoordinated", seed=7, workload_seed=7)
+        # convergence without confluence, Section III-B: the LWW stores
+        # reach one state while the caches pin divergent snapshots
+        assert result.stores_converged
+        assert not result.caches_agree
+
+    def test_sealed_defers_gets_until_key_complete(self):
+        result = run_kvs("sealed", seed=7, workload_seed=7)
+        winners = result.workload.winners()
+        for reqid, key, val in result.cache_entries("cache0"):
+            assert val == winners[key], (reqid, key)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            run_kvs("chaotic")

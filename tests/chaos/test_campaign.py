@@ -1,0 +1,117 @@
+"""The audit campaign: acceptance assertions on the smoke sweep."""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from repro.chaos import (
+    audit_campaign,
+    campaign_is_sound,
+    default_schedules,
+    demonstrated_anomalies,
+    harness_for,
+    render_audit,
+)
+from repro.chaos.oracle import ObservedLabel
+from repro.errors import SimulationError
+
+SEEDS = (7, 11)
+
+
+@functools.lru_cache(maxsize=None)
+def smoke_report():
+    return audit_campaign(smoke=True, seeds=SEEDS)
+
+
+def test_campaign_covers_the_required_grid():
+    """>= 3 apps x >= 2 strategies x >= 3 fault schedules, several seeds."""
+    report = smoke_report()
+    apps = {result.params["app"] for result in report}
+    assert {"wordcount", "adnet", "kvs"} <= apps
+    for app in apps:
+        rows = report.select(app=app)
+        strategies = {r.params["strategy"] for r in rows}
+        schedules = {r.params["schedule"] for r in rows}
+        assert len(strategies) >= 2, app
+        assert len(schedules) >= 3, app
+    assert all(result["runs"] == len(SEEDS) for result in report)
+
+
+def test_campaign_is_sound():
+    """Every cell observes within its predicted Figure 8 label."""
+    report = smoke_report()
+    assert campaign_is_sound(report), render_audit(report, evidence=True)
+
+
+def test_coordinated_cells_stay_within_async():
+    """The synthesized coordination makes the anomalies impossible."""
+    report = smoke_report()
+    for result in report:
+        if result["coordinated"]:
+            assert result["observed_severity"] <= 2, (
+                result.name,
+                result["observed"],
+                result["evidence"],
+            )
+
+
+def test_uncoordinated_anomalies_are_demonstrated():
+    """Remove the coordination and the predicted anomalies actually occur."""
+    anomalies = demonstrated_anomalies(smoke_report())
+    assert any(
+        name.startswith("wordcount/eager") and label == "Run"
+        for name, label in anomalies.items()
+    ), anomalies
+    assert any(
+        name.startswith("kvs/uncoordinated") and label == "Diverge"
+        for name, label in anomalies.items()
+    ), anomalies
+
+
+def test_predictions_match_the_paper_figure8_story():
+    report = smoke_report()
+    predicted = {
+        (r.params["app"], r.params["strategy"]): r["predicted"] for r in report
+    }
+    assert predicted[("wordcount", "sealed")] == "Async"
+    assert predicted[("wordcount", "eager")] == "Run"
+    assert predicted[("adnet", "uncoordinated")] == "Diverge"
+    assert predicted[("adnet", "seal")] == "Async"
+    assert predicted[("kvs", "uncoordinated")] == "Diverge"
+    assert predicted[("kvs", "sealed")] == "Async"
+
+
+def test_evidence_accompanies_every_anomalous_cell():
+    for result in smoke_report():
+        if result["observed_severity"] > ObservedLabel.EXACT.severity:
+            assert result["evidence"], result.name
+
+
+def test_schedule_subset_restricts_the_sweep():
+    report = audit_campaign(
+        ("kvs",), smoke=True, seeds=(7,), schedules=("baseline",)
+    )
+    assert {r.params["schedule"] for r in report} == {"baseline"}
+    assert len(report) == 2  # one per strategy
+
+
+def test_render_audit_summarizes():
+    text = render_audit(smoke_report())
+    assert "observed" in text and "predicted" in text
+    assert "sound: all" in text
+    assert "anomalies demonstrated without coordination:" in text
+
+
+def test_default_schedules_exposed_per_app():
+    names = [s.name for s in default_schedules("wordcount", smoke=True)]
+    assert "baseline" in names and "crash-restart" in names
+    with pytest.raises(SimulationError):
+        harness_for("nope")
+
+
+def test_unknown_schedule_name_is_an_error():
+    harness = harness_for("kvs", smoke=True)
+    with pytest.raises(SimulationError):
+        harness.schedule_named("meteor-strike")

@@ -1,0 +1,121 @@
+"""Unit tests for the consistency oracle's Figure 8 classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.oracle import ObservedLabel, RunObservation, classify_runs
+from repro.core.labels import Async, Diverge, Inst, Run, Seal
+
+
+def obs(seed, committed, emitted=None, truth=None):
+    return RunObservation(
+        seed=seed,
+        committed={k: frozenset(v) for k, v in committed.items()},
+        emitted={
+            k: frozenset(v) for k, v in (emitted or committed).items()
+        },
+        truth=frozenset(truth) if truth is not None else None,
+    )
+
+
+ROWS = frozenset({("a", 1), ("b", 2)})
+
+
+def test_exactly_once_when_everything_matches():
+    runs = [
+        obs(seed, {"r0": ROWS, "r1": ROWS}, truth=ROWS) for seed in (7, 11)
+    ]
+    verdict = classify_runs(runs)
+    assert verdict.observed is ObservedLabel.EXACT
+    assert verdict.evidence == ()
+
+
+def test_truth_deviation_is_async():
+    short = ROWS - {("b", 2)}
+    runs = [obs(seed, {"r0": short, "r1": short}, truth=ROWS) for seed in (7, 11)]
+    verdict = classify_runs(runs)
+    assert verdict.observed is ObservedLabel.ASYNC
+    assert any("ground truth" in line for line in verdict.evidence)
+
+
+def test_cross_seed_commit_divergence_is_run():
+    runs = [
+        obs(7, {"r0": ROWS, "r1": ROWS}),
+        obs(11, {"r0": ROWS | {("c", 3)}, "r1": ROWS | {("c", 3)}}),
+    ]
+    verdict = classify_runs(runs)
+    assert verdict.observed is ObservedLabel.RUN
+    assert any("across seeds" in line for line in verdict.evidence)
+
+
+def test_cross_seed_emitted_divergence_is_run():
+    runs = [
+        obs(7, {"r0": ROWS}, emitted={"r0": ROWS}),
+        obs(11, {"r0": ROWS}, emitted={"r0": ROWS | {("c", 3)}}),
+    ]
+    assert classify_runs(runs).observed is ObservedLabel.RUN
+
+
+def test_replica_emitted_divergence_is_inst():
+    runs = [
+        obs(
+            7,
+            {"r0": ROWS, "r1": ROWS},
+            emitted={"r0": ROWS, "r1": ROWS | {("c", 3)}},
+        )
+    ]
+    verdict = classify_runs(runs)
+    assert verdict.observed is ObservedLabel.INST
+    assert any("converged but emitted" in line for line in verdict.evidence)
+
+
+def test_replica_state_divergence_is_diverge():
+    runs = [obs(7, {"r0": ROWS, "r1": ROWS | {("c", 3)}})]
+    verdict = classify_runs(runs)
+    assert verdict.observed is ObservedLabel.DIVERGE
+    assert any("disagree on committed state" in line for line in verdict.evidence)
+
+
+def test_diverge_dominates_everything_else():
+    runs = [
+        obs(7, {"r0": ROWS, "r1": frozenset()}, truth=ROWS),
+        obs(11, {"r0": ROWS, "r1": ROWS}, truth=ROWS),
+    ]
+    assert classify_runs(runs).observed is ObservedLabel.DIVERGE
+
+
+def test_single_replica_observations_never_diverge():
+    runs = [obs(7, {"store": ROWS}), obs(11, {"store": ROWS})]
+    assert classify_runs(runs).observed is ObservedLabel.EXACT
+
+
+def test_empty_observation_set_is_an_error():
+    with pytest.raises(ValueError):
+        classify_runs([])
+
+
+def test_severities_align_with_figure8_labels():
+    assert ObservedLabel.EXACT.severity == Seal("k").severity
+    assert ObservedLabel.ASYNC.severity == Async().severity
+    assert ObservedLabel.RUN.severity == Run().severity
+    assert ObservedLabel.INST.severity == Inst().severity
+    assert ObservedLabel.DIVERGE.severity == Diverge().severity
+
+
+def test_soundness_is_the_lattice_order():
+    runs = [obs(7, {"r0": ROWS, "r1": ROWS | {("c", 3)}})]
+    verdict = classify_runs(runs)
+    assert verdict.sound_for(Diverge())
+    assert not verdict.sound_for(Inst())
+    assert not verdict.sound_for(Async())
+    exact = classify_runs([obs(7, {"r0": ROWS}, truth=ROWS)])
+    assert exact.sound_for(Seal("k"))
+    assert exact.sound_for(Async())
+
+
+def test_describe_renders_evidence():
+    runs = [obs(7, {"r0": ROWS, "r1": frozenset()})]
+    text = classify_runs(runs).describe()
+    assert text.startswith("observed Diverge")
+    assert "seed 7" in text

@@ -1,0 +1,92 @@
+"""Property-based tests: the oracle is deterministic and lattice-monotone."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos import harness_for
+from repro.chaos.oracle import ObservedLabel, RunObservation, classify_runs
+
+# ----------------------------------------------------------------------
+# synthetic observation strategies
+# ----------------------------------------------------------------------
+rows = st.frozensets(
+    st.tuples(st.sampled_from("abcd"), st.integers(0, 3)), max_size=6
+)
+replica_names = st.sampled_from([("r0",), ("r0", "r1"), ("r0", "r1", "r2")])
+
+
+@st.composite
+def observations(draw, *, min_size=1, max_size=4):
+    names = draw(replica_names)
+    seeds = draw(
+        st.lists(
+            st.integers(0, 50),
+            min_size=min_size,
+            max_size=max_size,
+            unique=True,
+        )
+    )
+    truth = draw(st.one_of(st.none(), rows))
+    out = []
+    for seed in seeds:
+        committed = {name: draw(rows) for name in names}
+        emitted = {name: draw(rows) for name in names}
+        out.append(
+            RunObservation(
+                seed=seed, committed=committed, emitted=emitted, truth=truth
+            )
+        )
+    return out
+
+
+class TestOracleProperties:
+    @given(observations())
+    def test_deterministic_in_observation_set(self, runs):
+        first = classify_runs(runs)
+        second = classify_runs(list(reversed(runs)))
+        assert first == second
+
+    @given(observations(min_size=2))
+    def test_permutation_invariant(self, runs):
+        rotated = runs[1:] + runs[:1]
+        assert classify_runs(runs) == classify_runs(rotated)
+
+    @given(observations(), observations())
+    def test_monotone_in_the_figure8_lattice(self, runs, extra):
+        """Adding observations can only raise the observed severity."""
+        seen = {obs.seed for obs in runs}
+        fresh = [obs for obs in extra if obs.seed not in seen]
+        before = classify_runs(runs).observed.severity
+        after = classify_runs(runs + fresh).observed.severity
+        assert after >= before
+
+    @given(observations())
+    def test_verdict_is_always_a_figure8_rank(self, runs):
+        verdict = classify_runs(runs)
+        assert verdict.observed in ObservedLabel
+        assert 1 <= verdict.observed.severity <= 5
+        # evidence accompanies any verdict above exactly-once
+        if verdict.observed is not ObservedLabel.EXACT:
+            assert verdict.evidence
+
+    @given(observations(min_size=1, max_size=1))
+    def test_single_run_never_reports_cross_run_anomalies(self, runs):
+        verdict = classify_runs(runs)
+        assert not any("across seeds" in line for line in verdict.evidence)
+
+
+class TestCampaignDeterminism:
+    @settings(deadline=None, max_examples=3)
+    @given(st.sampled_from(["sealed", "eager"]), st.sampled_from([7, 23]))
+    def test_observation_is_deterministic_in_seed_and_schedule(
+        self, strategy, seed
+    ):
+        """One (strategy, schedule, seed) cell reproduces exactly."""
+        harness = harness_for("wordcount", smoke=True)
+        schedule = harness.schedule_named("crash-restart")
+        first = harness.observe(strategy, schedule, seed)
+        second = harness.observe(strategy, schedule, seed)
+        assert first == second
+        assert classify_runs([first]) == classify_runs([second])

@@ -1,0 +1,136 @@
+"""Unit tests for the fault-schedule DSL."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.schedule import (
+    Crash,
+    Duplicate,
+    FaultSchedule,
+    Loss,
+    Partition,
+    Reorder,
+    baseline,
+    crash_restart,
+    dup_burst,
+    loss_burst,
+    reorder_burst,
+    split_link,
+)
+from repro.errors import SimulationError
+from repro.sim import FailureInjector, Network, Process, Simulator
+
+
+class Echo(Process):
+    def __init__(self, name):
+        super().__init__(name)
+        self.got = []
+
+    def recv(self, msg):
+        self.got.append(msg.payload)
+
+
+def build_injector():
+    sim = Simulator(seed=1)
+    network = Network(sim)
+    for name in ("w0", "w1", "s0"):
+        network.register(Echo(name))
+    return sim, network, FailureInjector(network)
+
+
+def resolve(role, index):
+    return {"worker": ["w0", "w1"], "source": ["s0"]}[role][index]
+
+
+def test_schedules_compose_with_plus():
+    combined = crash_restart() + loss_burst()
+    assert combined.name == "crash-restart+loss-burst"
+    assert len(combined.faults) == 2
+    assert isinstance(combined.faults[0], Crash)
+    assert isinstance(combined.faults[1], Loss)
+
+
+def test_scaled_multiplies_times_and_durations():
+    schedule = FaultSchedule("s", (Crash("worker", 0, at=0.2, duration=0.5),))
+    scaled = schedule.scaled(10.0)
+    fault = scaled.faults[0]
+    assert fault.at == pytest.approx(2.0)
+    assert fault.duration == pytest.approx(5.0)
+    # scaling is a pure transform: the original is untouched
+    assert schedule.faults[0].at == pytest.approx(0.2)
+
+
+def test_scaled_rejects_nonpositive_factor():
+    with pytest.raises(SimulationError):
+        baseline().scaled(0.0)
+
+
+def test_shifted_delays_every_fault():
+    schedule = loss_burst(at=0.1, duration=0.2) + dup_burst(at=0.3, duration=0.1)
+    shifted = schedule.shifted(1.0)
+    assert [f.at for f in shifted.faults] == [pytest.approx(1.1), pytest.approx(1.3)]
+    assert [f.duration for f in shifted.faults] == [
+        pytest.approx(0.2),
+        pytest.approx(0.1),
+    ]
+
+
+def test_horizon_and_roles():
+    schedule = (
+        crash_restart("worker", 1, at=0.1, duration=0.4)
+        + split_link("source", 0, "worker", 0, at=0.2, duration=0.2)
+        + reorder_burst(at=0.0, duration=0.9, factor=4.0)
+    )
+    assert schedule.horizon == pytest.approx(0.9)
+    assert schedule.roles == frozenset({"worker", "source"})
+    assert baseline().horizon == 0.0
+    assert baseline().roles == frozenset()
+
+
+def test_apply_compiles_onto_injector():
+    sim, network, injector = build_injector()
+    schedule = (
+        crash_restart("worker", 1, at=1.0, duration=1.0)
+        + split_link("source", 0, "worker", 0, at=1.0, duration=1.0)
+    )
+    schedule.apply(injector, resolve)
+    sim.run()
+    assert ("w1" in {name for _t, name in injector.crashes})
+    assert any((src, dst) == ("s0", "w0") for _t, src, dst in injector.partitions)
+    assert injector.recoveries and injector.heals
+
+
+def test_apply_baseline_is_a_noop():
+    sim, network, injector = build_injector()
+    baseline().apply(injector, resolve)
+    assert sim.pending == 0
+
+
+def test_unknown_role_is_an_error_at_apply_time():
+    sim, network, injector = build_injector()
+    schedule = crash_restart("replica", 0)
+    with pytest.raises(KeyError):
+        schedule.apply(injector, resolve)
+
+
+def test_describe_lists_faults():
+    text = (loss_burst() + dup_burst()).describe()
+    assert "loss-burst+dup-burst" in text
+    assert "Loss" in text and "Duplicate" in text
+    assert baseline().describe().endswith("no faults")
+
+
+def test_every_primitive_round_trips_through_rescale():
+    faults = (
+        Crash("worker", 0, 0.1, 0.2),
+        Loss(0.1, 0.2, 0.5),
+        Duplicate(0.1, 0.2, 0.5),
+        Partition("source", 0, "worker", 1, 0.1, 0.2),
+        Reorder(0.1, 0.2, 8.0),
+    )
+    for fault in faults:
+        back = fault.rescaled(2.0, 0.0).rescaled(0.5, 0.0)
+        assert back.at == pytest.approx(fault.at)
+        assert back.duration == pytest.approx(fault.duration)
+        assert back.end == pytest.approx(fault.end)

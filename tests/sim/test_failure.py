@@ -48,3 +48,88 @@ def test_loss_window_restores_previous_probability():
     assert "during" not in b.got
     assert "after" in b.got
     assert network.drop_prob == 0.0
+
+
+def test_duplicate_window_restores_previous_probability():
+    sim, network, a, b = build()
+    injector = FailureInjector(network)
+    injector.duplicate_window(at=1.0, duration=1.0, dup_prob=1.0)
+    sim.schedule_at(0.5, lambda: a.send("b", "data", "before"))
+    sim.schedule_at(1.5, lambda: a.send("b", "data", "during"))
+    sim.schedule_at(3.0, lambda: a.send("b", "data", "after"))
+    sim.run()
+    assert b.got.count("before") == 1
+    assert b.got.count("during") == 2
+    assert b.got.count("after") == 1
+    assert network.dup_prob == 0.0
+    assert network.duplicated == 1
+
+
+def test_partition_drops_messages_then_heals():
+    sim, network, a, b = build()
+    injector = FailureInjector(network)
+    injector.partition("a", "b", at=1.0, duration=2.0)
+    for t in (0.5, 1.5, 2.5, 3.5):
+        sim.schedule_at(t, lambda t=t: a.send("b", "data", t))
+        sim.schedule_at(t, lambda t=t: b.send("a", "data", -t))
+    sim.run()
+    # messages sent at 1.5 and 2.5 cross the severed link, both ways
+    assert sorted(b.got) == [0.5, 3.5]
+    assert sorted(a.got) == [-3.5, -0.5]
+    assert injector.partitions and injector.heals
+    assert not network.link_blocked("a", "b")
+    assert not network.link_blocked("b", "a")
+
+
+def test_asymmetric_partition_blocks_one_direction():
+    sim, network, a, b = build()
+    injector = FailureInjector(network)
+    injector.partition("a", "b", at=1.0, duration=2.0, symmetric=False)
+    sim.schedule_at(1.5, lambda: a.send("b", "data", "a->b"))
+    sim.schedule_at(1.5, lambda: b.send("a", "data", "b->a"))
+    sim.run()
+    assert b.got == []
+    assert a.got == ["b->a"]
+
+
+def test_overlapping_partitions_do_not_heal_early():
+    sim, network, a, b = build()
+    injector = FailureInjector(network)
+    injector.partition("a", "b", at=1.0, duration=2.0)
+    injector.partition("a", "b", at=1.5, duration=0.5)  # ends at 2.0
+    for t in (2.5, 3.5):
+        sim.schedule_at(t, lambda t=t: a.send("b", "data", t))
+    sim.run()
+    # the first window holds until t=3.0 even though the second healed
+    assert b.got == [3.5]
+    assert not network.link_blocked("a", "b")
+
+
+def test_partition_retries_reliable_kinds_until_heal():
+    sim = Simulator(seed=3)
+    network = Network(sim, reliable_kinds=("tcp",))
+    a, b = Echo("a"), Echo("b")
+    network.register(a)
+    network.register(b)
+    injector = FailureInjector(network)
+    injector.partition("a", "b", at=0.0, duration=1.0)
+    sim.schedule_at(0.5, lambda: a.send("b", "tcp", "session"))
+    sim.schedule_at(0.5, lambda: a.send("b", "data", "datagram"))
+    sim.run()
+    # the TCP-like message is delayed across the partition, not lost
+    assert b.got == ["session"]
+    assert network.retried > 0
+    assert network.dropped == 1
+
+
+def test_reorder_window_scales_and_restores_jitter():
+    sim, network, a, b = build()
+    baseline = network.latency
+    injector = FailureInjector(network)
+    injector.reorder_window(at=1.0, duration=1.0, factor=50.0)
+    observed = {}
+    sim.schedule_at(1.5, lambda: observed.setdefault("during", network.latency))
+    sim.schedule_at(3.0, lambda: observed.setdefault("after", network.latency))
+    sim.run()
+    assert observed["during"].jitter == baseline.jitter * 50.0
+    assert observed["after"] == baseline

@@ -5,35 +5,13 @@ from __future__ import annotations
 import pytest
 
 from repro.apps.wordcount import (
-    CommitBolt,
     TweetSpout,
     build_wordcount_topology,
+    committed_store,
+    reference_counts,
     run_wordcount,
 )
 from repro.storm import ClusterConfig, StormCluster, stable_hash
-
-
-def reference_counts(total_batches: int, batch_size: int, seed: int = 0):
-    """Ground truth: sequentially count the spout's words per batch."""
-    spout = TweetSpout(total_batches=total_batches, batch_size=batch_size, seed=seed)
-    counts: dict[tuple[str, int], int] = {}
-    for batch in range(total_batches):
-        for (tweet,) in spout.next_batch(batch):
-            for word in tweet.split():
-                key = (word, batch)
-                counts[key] = counts.get(key, 0) + 1
-    return counts
-
-
-def committed_store(cluster: StormCluster) -> dict:
-    store: dict = {}
-    for name in cluster.acker_tasks:
-        task = cluster.bolt_task(name)
-        assert isinstance(task.bolt, CommitBolt)
-        overlap = set(store) & set(task.bolt.store)
-        assert not overlap, f"same (word,batch) committed on two tasks: {overlap}"
-        store.update(task.bolt.store)
-    return store
 
 
 def test_spout_batches_are_replay_deterministic():

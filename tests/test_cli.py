@@ -107,6 +107,31 @@ def test_adreport_subcommand(capsys):
     assert "replicas agree    : True" in out
 
 
+def test_audit_subcommand(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+    assert main([
+        "audit", "--smoke", "--apps", "kvs", "--seeds", "7", "11",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "kvs/uncoordinated/baseline" in out
+    assert "sound: all" in out
+    assert "Diverge" in out
+    report = (tmp_path / "BENCH_audit-smoke.json").read_text()
+    assert "observed_severity" in report
+
+
+def test_audit_subcommand_no_report(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+    assert main([
+        "audit", "--smoke", "--apps", "wordcount", "--seeds", "7", "11",
+        "--no-report", "--evidence",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "wordcount/eager" in out
+    assert "across seeds" in out  # evidence lines printed
+    assert not list(tmp_path.iterdir())
+
+
 def test_parser_rejects_unknown_strategy():
     parser = build_parser()
     with pytest.raises(SystemExit):
