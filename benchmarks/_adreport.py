@@ -4,6 +4,13 @@ Figures 12 and 13 run through :mod:`repro.bench` (scenario sweep over
 delivery strategies, one ``BENCH_fig12/13.json`` each); Figure 14 still
 uses the raw :func:`run_strategies` helper because it inspects per-record
 release times rather than summary metrics.
+
+Workloads come in three *tiers*: ``smoke`` (CI-sized), ``default`` (the
+shape of the paper's experiment, trimmed for quick regeneration), and
+``full`` (the paper's actual Section VIII-B scale — 1000 log entries per
+server, 50 at a time — which the semi-naive Bloom engine made feasible;
+reports are written as ``BENCH_fig12-full.json`` etc. so tiers never
+clobber each other).
 """
 
 from __future__ import annotations
@@ -52,6 +59,40 @@ def smoke_workload_for(servers: int) -> AdWorkload:
     )
 
 
+def full_workload_for(servers: int) -> AdWorkload:
+    """The unabridged paper workload (Section VIII-B): 1000 entries/server."""
+    return AdWorkload(
+        ad_servers=servers,
+        entries_per_server=1000,
+        batch_size=50,
+        sleep=0.25,
+        campaigns=20,
+        requests=12,
+        report_replicas=3,
+    )
+
+
+TIERS = {
+    "smoke": smoke_workload_for,
+    "default": workload_for,
+    "full": full_workload_for,
+}
+
+
+def tier_from_flags(argv: list[str]) -> str:
+    """Map the ``--smoke`` / ``--full`` CLI flags onto a tier name."""
+    if "--full" in argv:
+        return "full"
+    if "--smoke" in argv:
+        return "smoke"
+    return "default"
+
+
+def report_name(figure: str, tier: str) -> str:
+    """``fig12`` / ``fig12-smoke`` / ``fig12-full``."""
+    return figure if tier == "default" else f"{figure}-{tier}"
+
+
 def run_strategies(servers: int, strategies, seed: int = 7):
     workload = workload_for(servers)
     results = {}
@@ -66,7 +107,7 @@ def run_strategies(servers: int, strategies, seed: int = 7):
 # repro.bench integration (Figures 12 and 13)
 # ----------------------------------------------------------------------
 def measure_strategy(
-    servers: int, strategy: str, smoke: bool = False, seed: int = 7
+    servers: int, strategy: str, tier: str = "default", seed: int = 7
 ) -> dict:
     """One (cluster size, strategy) point as a JSON-able metric mapping.
 
@@ -74,14 +115,14 @@ def measure_strategy(
     points without re-simulating them.  This wrapper normalizes defaults
     into a full positional key, so every call arity shares one cache slot.
     """
-    return _measure_strategy_cached(servers, strategy, smoke, seed)
+    return _measure_strategy_cached(servers, strategy, tier, seed)
 
 
 @functools.lru_cache(maxsize=None)
 def _measure_strategy_cached(
-    servers: int, strategy: str, smoke: bool, seed: int
+    servers: int, strategy: str, tier: str, seed: int
 ) -> dict:
-    workload = (smoke_workload_for if smoke else workload_for)(servers)
+    workload = TIERS[tier](servers)
     result = run_ad_network(strategy, workload=workload, seed=seed, workload_seed=seed)
     return {
         "completion_time": result.completion_time,
@@ -96,16 +137,16 @@ def _measure_strategy_cached(
 
 
 def run_adreport_bench(
-    name: str, servers: int, strategies, *, smoke: bool = False
+    name: str, servers: int, strategies, *, tier: str = "default"
 ) -> BenchReport:
     """Sweep the delivery strategies at one cluster size; write the JSON."""
     scenarios = [
-        Scenario(strategy, {"servers": servers, "strategy": strategy, "smoke": smoke})
+        Scenario(strategy, {"servers": servers, "strategy": strategy, "tier": tier})
         for strategy in strategies
     ]
 
-    def fn(*, servers: int, strategy: str, smoke: bool) -> dict:
-        return measure_strategy(servers, strategy, smoke)
+    def fn(*, servers: int, strategy: str, tier: str) -> dict:
+        return measure_strategy(servers, strategy, tier)
 
     return run_bench(name, scenarios, fn, reporter=JsonReporter())
 

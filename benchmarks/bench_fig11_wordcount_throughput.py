@@ -16,7 +16,7 @@ cut simulated message events by >= 5x at identical committed output.
 
 Run it through the ``repro.bench`` harness::
 
-    PYTHONPATH=src python benchmarks/bench_fig11_wordcount_throughput.py
+    PYTHONPATH=src python benchmarks/bench_fig11_wordcount_throughput.py [--smoke|--full]
 
 which writes ``BENCH_fig11.json`` (to ``$REPRO_BENCH_DIR`` or the cwd),
 or with pytest for the paper-shape assertions::
@@ -29,6 +29,7 @@ from __future__ import annotations
 import functools
 import sys
 
+from benchmarks._adreport import report_name, tier_from_flags
 from repro.apps.wordcount import run_wordcount
 from repro.bench import BenchReport, JsonReporter, run_bench, sweep
 
@@ -42,50 +43,69 @@ BATCHING_BATCH_SIZE = 120
 FRAME_SIZES = (1, 16, 64)
 PARALLELISM_SCALES = (1, 2)
 
-SMOKE_OVERRIDES = {
-    "cluster_sizes": (2, 4),
-    "batches_per_spout": 2,
-    "batch_size": 10,
-    "batching_batch_size": 40,
-    "frame_sizes": (1, 16),
-    "parallelism_scales": (1, 2),
+# Per-tier sweep parameters.  ``full`` is the paper-leaning 20-worker
+# word count: the same cluster sweep driven with several times the
+# offered load (an opt-in tier; see benchmarks/README.md).
+TIER_PARAMS = {
+    "smoke": {
+        "cluster_sizes": (2, 4),
+        "batches_per_spout": 2,
+        "batch_size": 10,
+        "batching_batch_size": 40,
+        "frame_sizes": (1, 16),
+        "parallelism_scales": (1, 2),
+    },
+    "default": {
+        "cluster_sizes": CLUSTER_SIZES,
+        "batches_per_spout": BATCHES_PER_SPOUT,
+        "batch_size": BATCH_SIZE,
+        "batching_batch_size": BATCHING_BATCH_SIZE,
+        "frame_sizes": FRAME_SIZES,
+        "parallelism_scales": PARALLELISM_SCALES,
+    },
+    "full": {
+        "cluster_sizes": CLUSTER_SIZES,
+        "batches_per_spout": 8,
+        "batch_size": 100,
+        "batching_batch_size": 240,
+        "frame_sizes": FRAME_SIZES,
+        "parallelism_scales": PARALLELISM_SCALES,
+    },
 }
 
 
-def scenarios(smoke: bool = False) -> list:
-    sizes = SMOKE_OVERRIDES["cluster_sizes"] if smoke else CLUSTER_SIZES
-    frames = SMOKE_OVERRIDES["frame_sizes"] if smoke else FRAME_SIZES
-    scales = SMOKE_OVERRIDES["parallelism_scales"] if smoke else PARALLELISM_SCALES
+def scenarios(tier: str = "default") -> list:
+    params = TIER_PARAMS[tier]
     return sweep(
         "{mode}-w{workers}",
         {
             "kind": ("throughput",),
-            "smoke": (smoke,),
-            "workers": sizes,
+            "tier": (tier,),
+            "workers": params["cluster_sizes"],
             "mode": ("sealed", "transactional"),
         },
     ) + sweep(
         "batching-f{frame_size}-x{scale}",
         {
             "kind": ("batching",),
-            "smoke": (smoke,),
-            "frame_size": frames,
-            "scale": scales,
+            "tier": (tier,),
+            "frame_size": params["frame_sizes"],
+            "scale": params["parallelism_scales"],
         },
     )
 
 
-def measure(*, kind: str, smoke: bool = False, **params) -> dict:
+def measure(*, kind: str, tier: str = "default", **params) -> dict:
     if kind == "throughput":
-        return _measure_throughput(smoke=smoke, **params)
-    return _measure_batching(smoke=smoke, **params)
+        return _measure_throughput(tier=tier, **params)
+    return _measure_batching(tier=tier, **params)
 
 
-def _measure_throughput(*, workers: int, mode: str, smoke: bool) -> dict:
+def _measure_throughput(*, workers: int, mode: str, tier: str) -> dict:
     # offered load scales with the cluster, as a real stream would:
     # each spout task contributes the same number of batches
-    per_spout = SMOKE_OVERRIDES["batches_per_spout"] if smoke else BATCHES_PER_SPOUT
-    batch_size = SMOKE_OVERRIDES["batch_size"] if smoke else BATCH_SIZE
+    per_spout = TIER_PARAMS[tier]["batches_per_spout"]
+    batch_size = TIER_PARAMS[tier]["batch_size"]
     spouts = max(1, workers // 2)
     metrics, _cluster = run_wordcount(
         workers=workers,
@@ -101,8 +121,8 @@ def _measure_throughput(*, workers: int, mode: str, smoke: bool) -> dict:
     }
 
 
-def _measure_batching(*, frame_size: int, scale: int, smoke: bool) -> dict:
-    batch_size = SMOKE_OVERRIDES["batching_batch_size"] if smoke else BATCHING_BATCH_SIZE
+def _measure_batching(*, frame_size: int, scale: int, tier: str) -> dict:
+    batch_size = TIER_PARAMS[tier]["batching_batch_size"]
     metrics, _cluster = run_wordcount(
         workers=BATCHING_WORKERS,
         total_batches=BATCHING_BATCHES,
@@ -123,20 +143,21 @@ def _measure_batching(*, frame_size: int, scale: int, smoke: bool) -> dict:
     }
 
 
-def run_fig11(smoke: bool = False) -> BenchReport:
-    """The full figure sweep; writes ``BENCH_fig11.json`` as it finishes.
+def run_fig11(tier: str = "default") -> BenchReport:
+    """The figure sweep at one tier; writes ``BENCH_fig11*.json``.
 
-    Smoke runs write ``BENCH_fig11-smoke.json`` so they never clobber a
-    full-scale record in the same directory.  Defaults are normalized
-    into the cached call so every call arity shares one sweep.
+    Smoke/full runs write ``BENCH_fig11-smoke.json`` /
+    ``BENCH_fig11-full.json`` so they never clobber the default-tier
+    record in the same directory.  Defaults are normalized into the
+    cached call so every call arity shares one sweep.
     """
-    return _run_fig11_cached(smoke)
+    return _run_fig11_cached(tier)
 
 
 @functools.lru_cache(maxsize=None)
-def _run_fig11_cached(smoke: bool) -> BenchReport:
-    name = "fig11-smoke" if smoke else "fig11"
-    return run_bench(name, scenarios(smoke), measure, reporter=JsonReporter())
+def _run_fig11_cached(tier: str) -> BenchReport:
+    name = report_name("fig11", tier)
+    return run_bench(name, scenarios(tier), measure, reporter=JsonReporter())
 
 
 def print_report(report: BenchReport) -> None:
@@ -190,8 +211,8 @@ def test_fig11_batched_delivery_cuts_message_events():
 
 
 def main(argv: list[str] | None = None) -> None:
-    smoke = "--smoke" in (argv if argv is not None else sys.argv[1:])
-    report = run_fig11(smoke=smoke)
+    tier = tier_from_flags(argv if argv is not None else sys.argv[1:])
+    report = run_fig11(tier=tier)
     print_report(report)
     print()
     print(f"wrote {JsonReporter().path_for(report.name)}")

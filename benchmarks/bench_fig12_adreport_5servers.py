@@ -8,9 +8,11 @@ uncoordinated baseline.
 
 Run through the ``repro.bench`` harness::
 
-    PYTHONPATH=src python -m benchmarks.bench_fig12_adreport_5servers
+    PYTHONPATH=src python -m benchmarks.bench_fig12_adreport_5servers [--smoke|--full]
 
-which writes ``BENCH_fig12.json`` (to ``$REPRO_BENCH_DIR`` or the cwd).
+which writes ``BENCH_fig12.json`` (to ``$REPRO_BENCH_DIR`` or the cwd);
+``--full`` runs the paper's unabridged 1000-entries-per-server workload
+and writes ``BENCH_fig12-full.json``.
 """
 
 from __future__ import annotations
@@ -18,21 +20,27 @@ from __future__ import annotations
 import functools
 import sys
 
-from benchmarks._adreport import print_report_series, run_adreport_bench
+from benchmarks._adreport import (
+    print_report_series,
+    report_name,
+    run_adreport_bench,
+    tier_from_flags,
+)
 from repro.bench import JsonReporter
 
 STRATEGIES = ("uncoordinated", "ordered", "independent-seal", "seal")
 SERVERS = 5
 
 
-def run_fig12(smoke: bool = False):
-    return _run_fig12_cached(smoke)
+def run_fig12(tier: str = "default"):
+    return _run_fig12_cached(tier)
 
 
 @functools.lru_cache(maxsize=None)
-def _run_fig12_cached(smoke: bool):
-    name = "fig12-smoke" if smoke else "fig12"
-    return run_adreport_bench(name, SERVERS, STRATEGIES, smoke=smoke)
+def _run_fig12_cached(tier: str):
+    return run_adreport_bench(
+        report_name("fig12", tier), SERVERS, STRATEGIES, tier=tier
+    )
 
 
 def test_fig12_adreport_5_servers():
@@ -52,9 +60,9 @@ def test_fig12_adreport_5_servers():
 
 
 def main(argv: list[str] | None = None) -> None:
-    smoke = "--smoke" in (argv if argv is not None else sys.argv[1:])
-    report = run_fig12(smoke=smoke)
-    print("Figure 12 — processed log records over time, 5 ad servers")
+    tier = tier_from_flags(argv if argv is not None else sys.argv[1:])
+    report = run_fig12(tier=tier)
+    print(f"Figure 12 — processed log records over time, 5 ad servers [{tier}]")
     print_report_series(report, bucket=0.5)
     print()
     print(f"wrote {JsonReporter().path_for(report.name)}")

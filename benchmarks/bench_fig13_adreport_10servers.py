@@ -8,9 +8,10 @@ bottleneck, and doubling offered load compounds queueing delay
 
 Run through the ``repro.bench`` harness::
 
-    PYTHONPATH=src python -m benchmarks.bench_fig13_adreport_10servers
+    PYTHONPATH=src python -m benchmarks.bench_fig13_adreport_10servers [--smoke|--full]
 
-which writes ``BENCH_fig13.json`` (to ``$REPRO_BENCH_DIR`` or the cwd).
+which writes ``BENCH_fig13.json`` (to ``$REPRO_BENCH_DIR`` or the cwd);
+``--full`` is the paper's unabridged 1000-entries-per-server scale.
 """
 
 from __future__ import annotations
@@ -21,7 +22,9 @@ import sys
 from benchmarks._adreport import (
     measure_strategy,
     print_report_series,
+    report_name,
     run_adreport_bench,
+    tier_from_flags,
 )
 from repro.bench import JsonReporter
 
@@ -29,14 +32,15 @@ STRATEGIES = ("uncoordinated", "ordered", "independent-seal", "seal")
 SERVERS = 10
 
 
-def run_fig13(smoke: bool = False):
-    return _run_fig13_cached(smoke)
+def run_fig13(tier: str = "default"):
+    return _run_fig13_cached(tier)
 
 
 @functools.lru_cache(maxsize=None)
-def _run_fig13_cached(smoke: bool):
-    name = "fig13-smoke" if smoke else "fig13"
-    return run_adreport_bench(name, SERVERS, STRATEGIES, smoke=smoke)
+def _run_fig13_cached(tier: str):
+    return run_adreport_bench(
+        report_name("fig13", tier), SERVERS, STRATEGIES, tier=tier
+    )
 
 
 def test_fig13_adreport_10_servers():
@@ -76,9 +80,9 @@ def test_fig13_scaling_vs_fig12():
 
 
 def main(argv: list[str] | None = None) -> None:
-    smoke = "--smoke" in (argv if argv is not None else sys.argv[1:])
-    report = run_fig13(smoke=smoke)
-    print("Figure 13 — processed log records over time, 10 ad servers")
+    tier = tier_from_flags(argv if argv is not None else sys.argv[1:])
+    report = run_fig13(tier=tier)
+    print(f"Figure 13 — processed log records over time, 10 ad servers [{tier}]")
     print_report_series(report, bucket=1.0)
     print()
     print(f"wrote {JsonReporter().path_for(report.name)}")

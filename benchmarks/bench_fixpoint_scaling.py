@@ -1,0 +1,193 @@
+"""Fixpoint-engine scaling: naive vs semi-naive incremental evaluation.
+
+Models the hot path that dominates paper-scale (``--full``) ad-network
+runs: one reporting replica evaluating the Figure 6 CAMPAIGN standing
+query while the click log arrives in per-tick delivery bursts (the
+Section VIII-B workload shape — ``entries_per_server`` entries from each
+ad server, dispatched ``batch_size`` at a time).  Both engines of
+:class:`repro.bloom.runtime.BloomRuntime` run the identical deterministic
+workload; the headline metric is simulated-fixpoint time *per tick*,
+which for the naive engine grows with the accumulated click log and for
+the incremental engine stays proportional to the per-tick delta.
+
+Run through the ``repro.bench`` harness::
+
+    PYTHONPATH=src python -m benchmarks.bench_fixpoint_scaling [--smoke]
+
+which writes ``BENCH_fixpoint.json`` (``BENCH_fixpoint-smoke.json`` for
+``--smoke``), or with pytest for the speedup/equivalence assertions::
+
+    PYTHONPATH=src python -m pytest -q benchmarks/bench_fixpoint_scaling.py
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import random
+import sys
+import time
+
+from repro.apps.queries import make_report_module
+from repro.bench import BenchReport, JsonReporter, run_bench, sweep
+from repro.bloom.runtime import ENGINES, BloomRuntime
+
+# The paper's Section VIII-B scale: 1000 entries per server, 5 servers,
+# dispatched 50 at a time -> 100 timesteps over a 5000-row click log.
+FULL_ENTRIES = (250, 1000)
+FULL_SERVERS = 5
+SMOKE_ENTRIES = (120,)
+SMOKE_SERVERS = 3
+BATCH_SIZE = 50
+CAMPAIGNS = 20
+ADS_PER_CAMPAIGN = 5
+REQUESTS = 12
+SEED = 7
+
+# Acceptance floor for the tentpole: the incremental engine must beat the
+# naive engine by at least this factor per tick at 1000 entries/server.
+SPEEDUP_FLOOR = 5.0
+
+# Checked-in regression floor for CI (``bench-fixpoint-smoke``): smoke-
+# scale incremental throughput in ticks/second.  Local runs measure
+# ~15,000; the floor leaves two orders of magnitude for slow CI runners.
+SMOKE_TICKS_PER_SECOND_FLOOR = 150.0
+
+
+def _workload(servers: int, entries_per_server: int) -> list[tuple]:
+    """A deterministic interleaved click log (the non-sealed placement)."""
+    rng = random.Random(f"fixpoint:{servers}:{entries_per_server}:{SEED}")
+    rows = []
+    for server in range(servers):
+        for index in range(entries_per_server):
+            campaign = rng.randrange(CAMPAIGNS)
+            rows.append(
+                (
+                    f"c{campaign}",
+                    rng.randrange(4),
+                    f"ad{campaign}-{rng.randrange(ADS_PER_CAMPAIGN)}",
+                    f"s{server}-{index}",
+                )
+            )
+    rng.shuffle(rows)
+    return rows
+
+
+def _requests() -> list[tuple]:
+    return [
+        (f"q{index}", f"ad{index % CAMPAIGNS}-{index % ADS_PER_CAMPAIGN}")
+        for index in range(REQUESTS)
+    ]
+
+
+def measure(*, engine: str, servers: int, entries_per_server: int) -> dict:
+    """Drive one engine through the workload; report per-tick cost."""
+    runtime = BloomRuntime(make_report_module("CAMPAIGN"), engine=engine)
+    runtime.insert("request", _requests())
+    rows = _workload(servers, entries_per_server)
+    ticks = 0
+    started = time.perf_counter()
+    for start in range(0, len(rows), BATCH_SIZE):
+        runtime.insert("click", rows[start : start + BATCH_SIZE])
+        runtime.tick()
+        ticks += 1
+    elapsed = time.perf_counter() - started
+    responses = runtime.read("response")
+    return {
+        "ticks": ticks,
+        "clicks": len(runtime.read("clicks")),
+        "responses": len(responses),
+        "fixpoint_seconds": elapsed,
+        "per_tick_ms": elapsed / ticks * 1000.0,
+        "ticks_per_second": ticks / elapsed,
+        # engines must agree bit-for-bit; the digest makes the check
+        # possible from the JSON record alone
+        "response_digest": hashlib.sha256(
+            repr(sorted(responses)).encode()
+        ).hexdigest(),
+    }
+
+
+def scenarios(smoke: bool = False) -> list:
+    servers = SMOKE_SERVERS if smoke else FULL_SERVERS
+    entries = SMOKE_ENTRIES if smoke else FULL_ENTRIES
+    return sweep(
+        "{engine}-e{entries_per_server}",
+        {
+            "engine": tuple(sorted(ENGINES)),
+            "servers": (servers,),
+            "entries_per_server": entries,
+        },
+    )
+
+
+def run_fixpoint(smoke: bool = False) -> BenchReport:
+    """The engine x scale sweep; writes ``BENCH_fixpoint[-smoke].json``."""
+    return _run_fixpoint_cached(smoke)
+
+
+@functools.lru_cache(maxsize=None)
+def _run_fixpoint_cached(smoke: bool) -> BenchReport:
+    name = "fixpoint-smoke" if smoke else "fixpoint"
+    return run_bench(name, scenarios(smoke), measure, reporter=JsonReporter())
+
+
+def print_report(report: BenchReport) -> None:
+    print()
+    print("Fixpoint engine scaling — per-tick cost, naive vs incremental")
+    print(report.table("per_tick_ms", "ticks_per_second", "responses"))
+    for entries in sorted(
+        {r.params["entries_per_server"] for r in report}
+    ):
+        naive = report.one(engine="naive", entries_per_server=entries)
+        incremental = report.one(engine="incremental", entries_per_server=entries)
+        speedup = naive["per_tick_ms"] / incremental["per_tick_ms"]
+        print(f"  {entries:>5} entries/server: {speedup:.1f}x per-tick speedup")
+
+
+def test_fixpoint_engines_agree():
+    """Differential check at bench scale: identical standing-query answers."""
+    report = run_fixpoint(smoke=True)
+    for entries in SMOKE_ENTRIES:
+        naive = report.one(engine="naive", entries_per_server=entries)
+        incremental = report.one(engine="incremental", entries_per_server=entries)
+        assert naive["response_digest"] == incremental["response_digest"]
+        assert naive["clicks"] == incremental["clicks"]
+
+
+def test_fixpoint_incremental_speedup():
+    """The tentpole acceptance: >= 5x per tick at 1000 entries/server."""
+    report = run_fixpoint()
+    print_report(report)
+    naive = report.one(engine="naive", entries_per_server=1000)
+    incremental = report.one(engine="incremental", entries_per_server=1000)
+    assert naive["response_digest"] == incremental["response_digest"]
+    speedup = naive["per_tick_ms"] / incremental["per_tick_ms"]
+    assert speedup >= SPEEDUP_FLOOR, f"only {speedup:.1f}x"
+    # the gap must *grow* with the click log: that is the semi-naive claim
+    small_naive = report.one(engine="naive", entries_per_server=250)
+    small_inc = report.one(engine="incremental", entries_per_server=250)
+    assert speedup > small_naive["per_tick_ms"] / small_inc["per_tick_ms"]
+
+
+def test_fixpoint_smoke_throughput_floor():
+    """CI regression floor: smoke-scale incremental tick throughput."""
+    report = run_fixpoint(smoke=True)
+    for entries in SMOKE_ENTRIES:
+        incremental = report.one(engine="incremental", entries_per_server=entries)
+        assert incremental["ticks_per_second"] >= SMOKE_TICKS_PER_SECOND_FLOOR, (
+            f"{incremental['ticks_per_second']:.0f} ticks/s below the "
+            f"checked-in floor {SMOKE_TICKS_PER_SECOND_FLOOR:.0f}"
+        )
+
+
+def main(argv: list[str] | None = None) -> None:
+    smoke = "--smoke" in (argv if argv is not None else sys.argv[1:])
+    report = run_fixpoint(smoke=smoke)
+    print_report(report)
+    print()
+    print(f"wrote {JsonReporter().path_for(report.name)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,6 +12,7 @@ from repro.bench.runner import (
     BenchReport,
     Scenario,
     ScenarioResult,
+    assemble_report,
     run_bench,
     sweep,
 )
@@ -21,6 +22,7 @@ __all__ = [
     "BenchReport",
     "JsonReporter",
     "Scenario",
+    "assemble_report",
     "ScenarioResult",
     "Stopwatch",
     "default_output_dir",

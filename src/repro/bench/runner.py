@@ -18,7 +18,14 @@ from typing import Any
 from repro.bench.timing import timed
 from repro.errors import BenchError
 
-__all__ = ["Scenario", "ScenarioResult", "BenchReport", "run_bench", "sweep"]
+__all__ = [
+    "Scenario",
+    "ScenarioResult",
+    "BenchReport",
+    "assemble_report",
+    "run_bench",
+    "sweep",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -142,6 +149,47 @@ def _fmt(value: Any) -> str:
     return str(value)
 
 
+def _validated_result(
+    bench_name: str, scenario: Scenario, metrics: Any, wall: float, verbose: bool
+) -> ScenarioResult:
+    if not isinstance(metrics, Mapping):
+        raise BenchError(
+            f"bench {bench_name!r} scenario {scenario.name!r}: measurement "
+            f"returned {type(metrics).__name__}, expected a metric mapping"
+        )
+    result = ScenarioResult(
+        scenario.name, dict(scenario.params), dict(metrics), wall
+    )
+    if verbose:
+        print(f"[{bench_name}] {scenario.name}: {result.metrics} ({wall:.2f}s)")
+    return result
+
+
+def assemble_report(
+    name: str,
+    scenarios: Iterable[Scenario],
+    outcomes: Iterable[tuple[Any, float]],
+    *,
+    reporter: "Any | None" = None,
+    verbose: bool = False,
+) -> BenchReport:
+    """Collect externally produced ``(metrics, wall_seconds)`` outcomes.
+
+    The out-of-band counterpart to :func:`run_bench` for callers that run
+    the measurements themselves (e.g. on a process pool): same
+    validation, same verbose rendering, same reporter protocol, so a
+    parallel run produces a report indistinguishable from a serial one.
+    """
+    results = [
+        _validated_result(name, scenario, metrics, wall, verbose)
+        for scenario, (metrics, wall) in zip(scenarios, outcomes)
+    ]
+    report = BenchReport(name, results)
+    if reporter is not None:
+        reporter.write(report)
+    return report
+
+
 def run_bench(
     name: str,
     scenarios: Iterable[Scenario],
@@ -160,17 +208,7 @@ def run_bench(
     results: list[ScenarioResult] = []
     for scenario in scenarios:
         metrics, wall = timed(fn, **scenario.params)
-        if not isinstance(metrics, Mapping):
-            raise BenchError(
-                f"bench {name!r} scenario {scenario.name!r}: measurement "
-                f"returned {type(metrics).__name__}, expected a metric mapping"
-            )
-        result = ScenarioResult(
-            scenario.name, dict(scenario.params), dict(metrics), wall
-        )
-        results.append(result)
-        if verbose:
-            print(f"[{name}] {scenario.name}: {result.metrics} ({wall:.2f}s)")
+        results.append(_validated_result(name, scenario, metrics, wall, verbose))
     report = BenchReport(name, results)
     if reporter is not None:
         reporter.write(report)

@@ -13,6 +13,19 @@ Every node knows its output ``schema`` (a tuple of column names), can
 sets, and reports ``lineage()``: for each output column, the set of
 ``(collection, column)`` pairs it copies untransformed (empty for computed
 columns).
+
+Nodes also support a *delta-aware* evaluation path for the semi-naive
+incremental engine (:mod:`repro.bloom.runtime`): ``eval_delta`` consumes
+the net ``(added, removed)`` change of each scanned collection and
+returns the exact net change of the node's own output, maintaining
+per-key hash indexes (joins, antijoins), support counts (projections,
+unions), and per-group materializations (aggregations) inside a
+:class:`DeltaContext` instead of rescanning full ``frozenset`` snapshots.
+The AST itself stays immutable — one module can be evaluated by several
+runtimes at once — so every piece of mutable state lives in the context.
+Predicates (``Select``) and computed columns (``Calc``) must be pure
+functions of their row for the delta path to be exact; the naive path
+already assumes this (it re-invokes them every fixpoint iteration).
 """
 
 from __future__ import annotations
@@ -34,10 +47,81 @@ __all__ = [
     "Union",
     "Const",
     "AGGREGATES",
+    "Delta",
+    "DeltaContext",
+    "EMPTY_DELTA",
 ]
 
 Env = Mapping[str, frozenset[tuple]]
 LineageMap = dict[str, frozenset[tuple[str, str]]]
+
+# The net change of a tuple set: (added, removed), disjoint by invariant.
+Delta = tuple[frozenset, frozenset]
+
+EMPTY_DELTA: Delta = (frozenset(), frozenset())
+
+
+class DeltaContext:
+    """Mutable state for one rule body's incremental evaluation.
+
+    AST nodes are immutable and may be shared between runtimes (the
+    differential tests drive one module through two engines at once), so
+    everything an incremental evaluation mutates — join/antijoin hash
+    indexes, projection/union support counts, group materializations —
+    lives here, keyed by node identity.  The context belongs to one rule
+    of one runtime; its node states are created lazily on the rule's
+    first firing and updated in place on every later firing.
+
+    Protocol: the engine stores the net per-collection change since the
+    rule last observed the environment in ``base``, bumps ``round``, and
+    calls ``root.eval_delta(ctx)``.  A node with no state yet
+    materializes from ``env`` (the live current contents) and reports its
+    entire output as added, which makes a rule's first firing and its
+    incremental refirings the same code path.  Per-round memoization
+    keeps shared sub-DAGs within one body consistent (the same node
+    object must not consume its input delta twice).
+    """
+
+    def __init__(self, env: Mapping[str, "set[tuple] | frozenset[tuple]"]):
+        self.env = env
+        self.base: Mapping[str, Delta] = {}
+        self.round = 0
+        self._state: dict[int, dict] = {}
+        self._memo: dict[int, tuple[int, Delta]] = {}
+
+    def begin(self, base: Mapping[str, Delta]) -> None:
+        """Open one evaluation round over the given base-collection deltas."""
+        self.base = base
+        self.round += 1
+
+    def state(self, node: "Node") -> dict:
+        """The (lazily created) mutable state of one node."""
+        st = self._state.get(id(node))
+        if st is None:
+            st = self._state[id(node)] = {}
+        return st
+
+
+def _index_add(index: dict, rows, key_cols: list[int]) -> None:
+    """Insert rows into a per-key hash index (key -> set of rows)."""
+    for row in rows:
+        key = tuple(row[i] for i in key_cols)
+        bucket = index.get(key)
+        if bucket is None:
+            bucket = index[key] = set()
+        bucket.add(row)
+
+
+def _index_discard(index: dict, rows, key_cols: list[int]) -> None:
+    """Remove rows from a per-key hash index, dropping empty buckets."""
+    for row in rows:
+        key = tuple(row[i] for i in key_cols)
+        bucket = index.get(key)
+        if bucket is None:
+            continue
+        bucket.discard(row)
+        if not bucket:
+            del index[key]
 
 
 class Node:
@@ -46,6 +130,30 @@ class Node:
     schema: tuple[str, ...] = ()
 
     def eval(self, env: Env) -> frozenset[tuple]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def eval_delta(self, ctx: DeltaContext) -> Delta:
+        """Incrementally (re)evaluate against the context's base deltas.
+
+        Returns the exact net ``(added, removed)`` change of this node's
+        output since the previous round; on a node's first round the
+        whole output counts as added.  The invariant every operator
+        maintains (and relies on from its children): ``added`` is
+        disjoint from the pre-round output and ``removed`` is a subset of
+        it.
+        """
+        memo = ctx._memo.get(id(self))
+        if memo is not None and memo[0] == ctx.round:
+            return memo[1]
+        added, removed = self._eval_delta(ctx)
+        if added and removed:
+            # a row that transiently flipped both ways is no net change
+            added, removed = added - removed, removed - added
+        delta = (frozenset(added), frozenset(removed))
+        ctx._memo[id(self)] = (ctx.round, delta)
+        return delta
+
+    def _eval_delta(self, ctx: DeltaContext):  # pragma: no cover - interface
         raise NotImplementedError
 
     def lineage(self) -> LineageMap:  # pragma: no cover - interface
@@ -125,6 +233,13 @@ class Scan(Node):
     def eval(self, env: Env) -> frozenset[tuple]:
         return env.get(self.collection, frozenset())
 
+    def _eval_delta(self, ctx: DeltaContext):
+        st = ctx.state(self)
+        if not st:
+            st["live"] = True
+            return set(ctx.env.get(self.collection, ())), frozenset()
+        return ctx.base.get(self.collection, EMPTY_DELTA)
+
     def lineage(self) -> LineageMap:
         return {
             col: frozenset({(self.collection, col)}) for col in self.schema
@@ -166,6 +281,34 @@ class Project(Node):
             tuple(row[i] for i in indexes) for row in self.child.eval(env)
         )
 
+    def _eval_delta(self, ctx: DeltaContext):
+        child_added, child_removed = self.child.eval_delta(ctx)
+        if not child_added and not child_removed:
+            return EMPTY_DELTA
+        st = ctx.state(self)
+        support = st.setdefault("support", {})  # out row -> #source rows
+        indexes = st.get("cols")
+        if indexes is None:
+            indexes = st["cols"] = [
+                self.child._index(src) for src, _ in self._pairs
+            ]
+        added, removed = set(), set()
+        for row in child_added:
+            out = tuple(row[i] for i in indexes)
+            count = support.get(out, 0)
+            support[out] = count + 1
+            if count == 0:
+                added.add(out)
+        for row in child_removed:
+            out = tuple(row[i] for i in indexes)
+            count = support[out] - 1
+            if count:
+                support[out] = count
+            else:
+                del support[out]
+                removed.add(out)
+        return added, removed
+
     def lineage(self) -> LineageMap:
         child_lineage = self.child.lineage()
         return {
@@ -203,6 +346,24 @@ class Calc(Node):
             for row in self.child.eval(env)
         )
 
+    def _eval_delta(self, ctx: DeltaContext):
+        child_added, child_removed = self.child.eval_delta(ctx)
+        if not child_added and not child_removed:
+            return EMPTY_DELTA
+        indexes = [self.child._index(d) for d in self.deps]
+        # row -> output is injective (columns are appended), so deltas map
+        # one-to-one; ``fn`` must be pure for the removal recomputation
+        return (
+            {
+                row + (self.fn(*(row[i] for i in indexes)),)
+                for row in child_added
+            },
+            {
+                row + (self.fn(*(row[i] for i in indexes)),)
+                for row in child_removed
+            },
+        )
+
     def lineage(self) -> LineageMap:
         lineage = dict(self.child.lineage())
         lineage[self.out] = frozenset()  # computed: identity lost
@@ -236,6 +397,16 @@ class Select(Node):
             if self.predicate(dict(zip(schema, row))):
                 out.append(row)
         return frozenset(out)
+
+    def _eval_delta(self, ctx: DeltaContext):
+        child_added, child_removed = self.child.eval_delta(ctx)
+        if not child_added and not child_removed:
+            return EMPTY_DELTA
+        schema = self.child.schema
+        return (
+            {r for r in child_added if self.predicate(dict(zip(schema, r)))},
+            {r for r in child_removed if self.predicate(dict(zip(schema, r)))},
+        )
 
     def lineage(self) -> LineageMap:
         return self.child.lineage()
@@ -287,6 +458,53 @@ class Join(Node):
                 out.append(lrow + tuple(rrow[i] for i in keep_idx))
         return frozenset(out)
 
+    def _eval_delta(self, ctx: DeltaContext):
+        left_added, left_removed = self.left.eval_delta(ctx)
+        right_added, right_removed = self.right.eval_delta(ctx)
+        if not (left_added or left_removed or right_added or right_removed):
+            return EMPTY_DELTA
+        st = ctx.state(self)
+        cols = st.get("cols")
+        if cols is None:
+            cols = st["cols"] = (
+                [self.left._index(l) for l, _ in self.on],
+                [self.right._index(r) for _, r in self.on],
+                [self.right._index(c) for c in self._right_keep],
+            )
+        lidx, ridx, keep_idx = cols
+        left_index = st.setdefault("left", {})    # key -> set of left rows
+        right_index = st.setdefault("right", {})  # key -> set of right rows
+
+        def out(lrow, rrow):
+            return lrow + tuple(rrow[i] for i in keep_idx)
+
+        added, removed = set(), set()
+        # removals: dL- against the pre-round right, then dR- against the
+        # already-shrunk left, so pairs with both sides gone count once
+        for lrow in left_removed:
+            key = tuple(lrow[i] for i in lidx)
+            for rrow in right_index.get(key, ()):
+                removed.add(out(lrow, rrow))
+        _index_discard(left_index, left_removed, lidx)
+        for rrow in right_removed:
+            key = tuple(rrow[i] for i in ridx)
+            for lrow in left_index.get(key, ()):
+                removed.add(out(lrow, rrow))
+        _index_discard(right_index, right_removed, ridx)
+        # additions: dL+ against the post-round right, dR+ against the
+        # post-round left (the dL+ x dR+ overlap dedupes in the set)
+        _index_add(right_index, right_added, ridx)
+        for lrow in left_added:
+            key = tuple(lrow[i] for i in lidx)
+            for rrow in right_index.get(key, ()):
+                added.add(out(lrow, rrow))
+        _index_add(left_index, left_added, lidx)
+        for rrow in right_added:
+            key = tuple(rrow[i] for i in ridx)
+            for lrow in left_index.get(key, ()):
+                added.add(out(lrow, rrow))
+        return added, removed
+
     def lineage(self) -> LineageMap:
         lineage = dict(self.left.lineage())
         right_lineage = self.right.lineage()
@@ -333,6 +551,54 @@ class AntiJoin(Node):
             for row in self.left.eval(env)
             if tuple(row[i] for i in lidx) not in present
         )
+
+    def _eval_delta(self, ctx: DeltaContext):
+        left_added, left_removed = self.left.eval_delta(ctx)
+        right_added, right_removed = self.right.eval_delta(ctx)
+        if not (left_added or left_removed or right_added or right_removed):
+            return EMPTY_DELTA
+        st = ctx.state(self)
+        cols = st.get("cols")
+        if cols is None:
+            cols = st["cols"] = (
+                [self.left._index(l) for l, _ in self.on],
+                [self.right._index(r) for _, r in self.on],
+            )
+        lidx, ridx = cols
+        left_index = st.setdefault("left", {})     # key -> set of left rows
+        blocked = st.setdefault("blocked", {})     # key -> right rows matching
+
+        added, removed = set(), set()
+        # 1. left removals: in the output iff unblocked before this round
+        for lrow in left_removed:
+            if tuple(lrow[i] for i in lidx) not in blocked:
+                removed.add(lrow)
+        _index_discard(left_index, left_removed, lidx)
+        # 2. right net update; keys that flip blocked status move every
+        # surviving left row of that key in or out of the output
+        affected: dict[tuple, bool] = {}
+        for rrow in right_removed:
+            key = tuple(rrow[i] for i in ridx)
+            if key not in affected:
+                affected[key] = key in blocked
+        for rrow in right_added:
+            key = tuple(rrow[i] for i in ridx)
+            if key not in affected:
+                affected[key] = key in blocked
+        _index_discard(blocked, right_removed, ridx)
+        _index_add(blocked, right_added, ridx)
+        for key, was_blocked in affected.items():
+            now_blocked = key in blocked
+            if was_blocked and not now_blocked:
+                added |= left_index.get(key, set())
+            elif now_blocked and not was_blocked:
+                removed |= left_index.get(key, set())
+        # 3. left additions: in the output iff unblocked after this round
+        _index_add(left_index, left_added, lidx)
+        for lrow in left_added:
+            if tuple(lrow[i] for i in lidx) not in blocked:
+                added.add(lrow)
+        return added, removed
 
     def lineage(self) -> LineageMap:
         return self.left.lineage()
@@ -430,6 +696,61 @@ class GroupBy(Node):
             out.append(key + tuple(agg_values))
         return frozenset(out)
 
+    def _eval_delta(self, ctx: DeltaContext):
+        child_added, child_removed = self.child.eval_delta(ctx)
+        if not child_added and not child_removed:
+            return EMPTY_DELTA
+        st = ctx.state(self)
+        cols = st.get("cols")
+        if cols is None:
+            cols = st["cols"] = (
+                [self.child._index(k) for k in self.keys],
+                [
+                    (AGGREGATES[agg_name],
+                     None if col is None else self.child._index(col))
+                    for _out, agg_name, col in self.aggs
+                ],
+            )
+        key_idx, agg_fns = cols
+        groups = st.setdefault("groups", {})   # key -> set of child rows
+        out_rows = st.setdefault("out", {})    # key -> current output row
+        # only rows of *touched* groups are re-aggregated; untouched
+        # groups keep their materialized output row
+        touched = set()
+        for row in child_added:
+            key = tuple(row[i] for i in key_idx)
+            groups.setdefault(key, set()).add(row)
+            touched.add(key)
+        for row in child_removed:
+            key = tuple(row[i] for i in key_idx)
+            bucket = groups.get(key)
+            if bucket is not None:
+                bucket.discard(row)
+            touched.add(key)
+        added, removed = set(), set()
+        for key in touched:
+            rows = groups.get(key)
+            old = out_rows.get(key)
+            if rows:
+                values = []
+                for fn, col in agg_fns:
+                    if col is None:
+                        values.append(fn(list(rows)))
+                    else:
+                        values.append(fn([row[col] for row in rows]))
+                new = key + tuple(values)
+            else:
+                new = None
+                groups.pop(key, None)
+            if new != old:
+                if old is not None:
+                    removed.add(old)
+                    del out_rows[key]
+                if new is not None:
+                    added.add(new)
+                    out_rows[key] = new
+        return added, removed
+
     def lineage(self) -> LineageMap:
         child_lineage = self.child.lineage()
         lineage = {key: child_lineage.get(key, frozenset()) for key in self.keys}
@@ -463,6 +784,28 @@ class Union(Node):
             out |= part.eval(env)
         return frozenset(out)
 
+    def _eval_delta(self, ctx: DeltaContext):
+        st = ctx.state(self)
+        support = st.setdefault("support", {})  # row -> #branches holding it
+        added, removed = set(), set()
+        for part in self.parts:
+            part_added, part_removed = part.eval_delta(ctx)
+            for row in part_added:
+                count = support.get(row, 0)
+                support[row] = count + 1
+                if count == 0:
+                    added.add(row)
+            for row in part_removed:
+                count = support[row] - 1
+                if count:
+                    support[row] = count
+                else:
+                    del support[row]
+                    removed.add(row)
+        if not added and not removed:
+            return EMPTY_DELTA
+        return added, removed
+
     def lineage(self) -> LineageMap:
         # A column keeps identity lineage only if every branch agrees.
         maps = [part.lineage() for part in self.parts]
@@ -491,6 +834,13 @@ class Const(Node):
 
     def eval(self, env: Env) -> frozenset[tuple]:
         return self.rows
+
+    def _eval_delta(self, ctx: DeltaContext):
+        st = ctx.state(self)
+        if not st:
+            st["live"] = True
+            return self.rows, frozenset()
+        return EMPTY_DELTA
 
     def lineage(self) -> LineageMap:
         return {col: frozenset() for col in self.schema}

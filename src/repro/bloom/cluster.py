@@ -2,7 +2,10 @@
 
 A :class:`BloomNode` hosts one runtime; channel tuples route over the
 simulated network by their location-specifier column.  Nodes tick lazily —
-whenever input is pending — so virtual time advances with message flow.
+whenever input is pending — so virtual time advances with message flow,
+and a scheduled tick whose pending input turns out to be a no-op (see
+:meth:`~repro.bloom.runtime.BloomRuntime.skip_noop_tick`) is skipped
+without re-running the fixpoint at all.
 
 Input *delivery policies* implement the coordination strategies the
 analyzer synthesizes (see :mod:`repro.bloom.rewrite`): plain asynchronous
@@ -93,6 +96,11 @@ class BloomNode(Process):
 
     def _do_tick(self) -> None:
         self._tick_scheduled = False
+        # quiescence fast path: a tick whose only pending input is
+        # redundant (e.g. duplicated deliveries of rows a table already
+        # holds) is skipped outright instead of re-running the fixpoint
+        if self.runtime.skip_noop_tick():
+            return
         outputs = self.runtime.tick()
         for name, rows in outputs.items():
             fresh = rows - self.outputs_log[name]
@@ -108,6 +116,11 @@ class BloomNode(Process):
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
+    @property
+    def ticks_skipped(self) -> int:
+        """Scheduled ticks consumed by the quiescence fast path."""
+        return self.runtime.ticks_skipped
+
     def read(self, collection: str) -> frozenset[tuple]:
         return self.runtime.read(collection)
 

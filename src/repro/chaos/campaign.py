@@ -16,13 +16,21 @@ unsealed word count, ``Inst``/``Diverge`` for the replicated apps).
 Results flow through :mod:`repro.bench`, so ``blazes audit`` and
 ``benchmarks/bench_fig14_fault_audit.py`` get the standard scenario
 table and ``BENCH_<name>.json`` record for free.
+
+Campaign cells share nothing — every cell re-seeds its own simulated
+cluster from its parameters — so ``audit_campaign(..., jobs=N)``
+(``blazes audit --jobs N``) fans the cells out over a process pool and
+merges the results into the same report, the first step of the ROADMAP's
+multiprocess backend.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+import concurrent.futures
 
-from repro.bench import BenchReport, Scenario, run_bench
+from collections.abc import Sequence
+
+from repro.bench import BenchReport, Scenario, assemble_report, run_bench, timed
 from repro.chaos.harnesses import harness_for
 from repro.chaos.oracle import ObservedLabel, classify_runs
 from repro.chaos.schedule import FaultSchedule
@@ -48,6 +56,36 @@ def default_schedules(app: str, *, smoke: bool = False) -> tuple[FaultSchedule, 
     return harness_for(app, smoke=smoke).schedules
 
 
+def _cell_metrics(
+    *, app: str, strategy: str, schedule: str, smoke: bool, seeds: list
+) -> dict:
+    """Run one campaign cell (app x strategy x schedule, all seeds).
+
+    Module-level (rather than a closure) so a process pool can pickle it:
+    cells share no state beyond their parameters.
+    """
+    harness = harness_for(app, smoke=smoke)
+    sched = harness.schedule_named(schedule)
+    observations = [harness.observe(strategy, sched, seed) for seed in seeds]
+    verdict = classify_runs(observations)
+    predicted = harness.predicted(strategy)
+    return {
+        "predicted": str(predicted),
+        "predicted_severity": predicted.severity,
+        "observed": str(verdict.observed),
+        "observed_severity": verdict.observed.severity,
+        "sound": verdict.sound_for(predicted),
+        "coordinated": strategy in harness.coordinated,
+        "runs": len(observations),
+        "evidence": list(verdict.evidence),
+    }
+
+
+def _timed_cell(params: dict) -> tuple[dict, float]:
+    """Pool worker: one cell's metrics plus its own wall-clock seconds."""
+    return timed(_cell_metrics, **params)
+
+
 def audit_campaign(
     apps: Sequence[str] = DEFAULT_APPS,
     *,
@@ -57,6 +95,7 @@ def audit_campaign(
     name: str = "audit",
     reporter=None,
     verbose: bool = False,
+    jobs: int = 1,
 ) -> BenchReport:
     """Run the full audit sweep and return its :class:`BenchReport`.
 
@@ -64,6 +103,9 @@ def audit_campaign(
     its default schedules (unknown names are skipped per app).  Each
     scenario's metrics carry the predicted and observed labels, their
     severities, the soundness verdict, and the oracle's evidence lines.
+    ``jobs > 1`` executes the (independent, deterministic) cells on a
+    process pool; results are identical to a serial run, merged back in
+    scenario order.
     """
     scenarios: list[Scenario] = []
     for app in apps:
@@ -85,24 +127,16 @@ def audit_campaign(
                     )
                 )
 
-    def fn(*, app: str, strategy: str, schedule: str, smoke: bool, seeds: list) -> dict:
-        harness = harness_for(app, smoke=smoke)
-        sched = harness.schedule_named(schedule)
-        observations = [harness.observe(strategy, sched, seed) for seed in seeds]
-        verdict = classify_runs(observations)
-        predicted = harness.predicted(strategy)
-        return {
-            "predicted": str(predicted),
-            "predicted_severity": predicted.severity,
-            "observed": str(verdict.observed),
-            "observed_severity": verdict.observed.severity,
-            "sound": verdict.sound_for(predicted),
-            "coordinated": strategy in harness.coordinated,
-            "runs": len(observations),
-            "evidence": list(verdict.evidence),
-        }
+    if jobs <= 1:
+        return run_bench(
+            name, scenarios, _cell_metrics, reporter=reporter, verbose=verbose
+        )
 
-    return run_bench(name, scenarios, fn, reporter=reporter, verbose=verbose)
+    with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+        outcomes = list(pool.map(_timed_cell, [s.params for s in scenarios]))
+    return assemble_report(
+        name, scenarios, outcomes, reporter=reporter, verbose=verbose
+    )
 
 
 def campaign_is_sound(report: BenchReport) -> bool:

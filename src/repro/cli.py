@@ -10,10 +10,11 @@ Subcommands:
     Execute the Storm word-count topology on the simulator.
 ``blazes adreport [--strategy S] [--servers N] ...``
     Execute the ad-tracking network under one coordination regime.
-``blazes audit [--smoke] [--apps LIST] ...``
+``blazes audit [--smoke] [--jobs N] [--apps LIST] ...``
     Run the fault-injection audit campaign: every (app, strategy, fault
     schedule) cell is executed for several seeds and the observed anomaly
-    is checked against the label the analysis predicted.
+    is checked against the label the analysis predicted.  ``--jobs N``
+    fans the independent cells out over a process pool.
 """
 
 from __future__ import annotations
@@ -82,6 +83,10 @@ def build_parser() -> argparse.ArgumentParser:
     audit_cmd.add_argument(
         "--seeds", type=int, nargs="+", default=None,
         help="network seeds per campaign cell",
+    )
+    audit_cmd.add_argument(
+        "--jobs", type=int, default=1,
+        help="run campaign cells on a process pool of this size",
     )
     audit_cmd.add_argument(
         "--evidence", action="store_true", help="print oracle evidence lines"
@@ -196,7 +201,12 @@ def _cmd_audit(args) -> int:
     name = "audit-smoke" if args.smoke else "audit"
     reporter = None if args.no_report else JsonReporter()
     report = audit_campaign(
-        apps, smoke=args.smoke, seeds=seeds, name=name, reporter=reporter
+        apps,
+        smoke=args.smoke,
+        seeds=seeds,
+        name=name,
+        reporter=reporter,
+        jobs=max(1, args.jobs),
     )
     print(render_audit(report, evidence=args.evidence))
     if reporter is not None:

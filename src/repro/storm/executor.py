@@ -284,6 +284,7 @@ class _BoltTask(_TaskBase):
         self._batch_attempt: dict[int, int] = {}
         self._finished: set[int] = set()
         self.processed_tuples = 0
+        self.stale_items_dropped = 0
         self.bolt.prepare(self)
 
     # ------------------------------------------------------------------
@@ -301,6 +302,13 @@ class _BoltTask(_TaskBase):
                 )
 
     def on_item(self, src: str, batch: int, attempt: int, item: tuple) -> None:
+        # quiescence fast path: an item of a superseded attempt can never
+        # be serviced (``_service`` would discard it after paying the full
+        # service time), so drop it before it occupies the queue at all
+        current = self._batch_attempt.get(batch)
+        if current is not None and attempt < current:
+            self.stale_items_dropped += 1
+            return
         self._queue.append((src, batch, attempt, item))
         self._pump()
 

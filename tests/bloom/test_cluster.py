@@ -175,3 +175,35 @@ def test_apply_strategy_dispatch():
             node,
             SealStrategy("n", (("s", frozenset({"k"})),), (frozenset({"k"}),)),
         )
+
+
+class SinkModule(BloomModule):
+    """A bare table sink: quiescent ticks are skippable."""
+
+    def setup(self):
+        self.input_interface("inp", ["v"])
+        self.table("t", ["v"])
+
+    def rules(self):
+        return [self.rule("t", "<=", self.scan("inp"))]
+
+
+def test_duplicate_delivery_skips_the_tick():
+    """The quiescence fast path: redundant input never re-runs the fixpoint."""
+    cluster = BloomCluster(seed=3)
+    node = cluster.add_node("sink", SinkModule())
+
+    class Feeder(Process):
+        def on_start(self):
+            # the same table row three times; only the first changes state
+            for delay in (0.01, 0.05, 0.09):
+                self.after(delay, lambda: self.send("sink", INSERT_MSG, ("t", [(1,)])))
+
+        def recv(self, msg):  # pragma: no cover - nothing answers
+            raise AssertionError(msg)
+
+    cluster.network.register(Feeder("feeder"))
+    cluster.run()
+    assert node.read("t") == {(1,)}
+    assert node.ticks_skipped >= 1
+    assert node.runtime.tick_count + node.runtime.ticks_skipped >= 3

@@ -142,3 +142,118 @@ def test_has_pending_input_reflects_queues():
     assert runtime.has_pending_input
     runtime.tick()
     assert not runtime.has_pending_input
+
+
+class ReplaceModule(BloomModule):
+    """Defers both an insert and a delete of the same tuple."""
+
+    def setup(self):
+        self.input_interface("inp", ["v"])
+        self.table("keep", ["v"])
+        self.table("t", ["v"])
+
+    def rules(self):
+        return [
+            self.rule("keep", "<=", self.scan("inp")),
+            self.rule("t", "<+", self.scan("keep")),  # re-insert every step
+            self.rule("t", "<-", self.scan("keep")),  # and delete it too
+        ]
+
+
+@pytest.mark.parametrize("engine", ["incremental", "naive"])
+def test_simultaneous_deferred_insert_and_delete(engine):
+    """Bud's boundary order: deletes apply before inserts, insert wins.
+
+    A tuple that is both ``<+``-inserted and ``<-``-deleted at the same
+    timestep boundary survives (the delete removes the old copy, the
+    insert puts it back) — the semantics the module docstring documents.
+    """
+    runtime = BloomRuntime(ReplaceModule(), engine=engine)
+    runtime.insert("inp", [(1,)])
+    runtime.tick()
+    assert runtime.read("t") == frozenset()      # nothing pending yet
+    runtime.tick()
+    assert runtime.read("t") == {(1,)}           # insert+delete: survives
+    runtime.tick()
+    assert runtime.read("t") == {(1,)}           # and keeps surviving
+
+    # direct pending-queue race, without rules: same outcome
+    direct = BloomRuntime(PathModule(), engine=engine)
+    direct.insert("edge", [(7, 8)])
+    direct._pending_deletes.setdefault("edge", set()).add((7, 8))
+    direct.tick()
+    assert direct.read("edge") == {(7, 8)}
+
+
+@pytest.mark.parametrize("engine", ["incremental", "naive"])
+def test_deferred_delete_of_still_derivable_row_is_restored(engine):
+    """A ``<-`` of a row an instantaneous rule still derives is undone
+    by the next tick's fixpoint (the naive engine re-asserts every rule;
+    the incremental engine must match)."""
+
+    class Underiveable(BloomModule):
+        def setup(self):
+            self.input_interface("inp", ["v"])
+            self.table("src", ["v"])
+            self.table("dst", ["v"])
+            self.table("kill", ["v"])
+
+        def rules(self):
+            return [
+                self.rule("src", "<=", self.scan("inp")),
+                self.rule("dst", "<=", self.scan("src")),   # still derivable
+                self.rule("kill", "<+", self.scan("src")),
+                self.rule("dst", "<-", self.scan("kill")),  # deleted anyway
+            ]
+
+    runtime = BloomRuntime(Underiveable(), engine=engine)
+    runtime.insert("inp", [(3,)])
+    runtime.tick()
+    assert runtime.read("dst") == {(3,)}
+    for _ in range(3):
+        runtime.tick()
+        # the boundary delete removes (3,), the fixpoint re-derives it
+        assert runtime.read("dst") == {(3,)}
+
+
+class TableSink(BloomModule):
+    """No output interfaces: quiescent state is skippable."""
+
+    def setup(self):
+        self.input_interface("inp", ["v"])
+        self.table("t", ["v"])
+
+    def rules(self):
+        return [self.rule("t", "<=", self.scan("inp"))]
+
+
+@pytest.mark.parametrize("engine", ["incremental", "naive"])
+def test_noop_tick_skipping(engine):
+    """Duplicate table inserts are consumed without running a tick."""
+    runtime = BloomRuntime(TableSink(), engine=engine)
+    runtime.insert("inp", [(1,)])
+    assert not runtime.tick_is_noop  # transient input pending
+    runtime.tick()
+    runtime.tick()  # drain the input interface: every transient empty now
+    # a novel row is not skippable
+    runtime.insert("t", [(2,)])
+    assert not runtime.tick_is_noop
+    assert not runtime.skip_noop_tick()
+    runtime.tick()
+    # re-delivering rows the table already holds is a pure no-op
+    runtime.insert("t", [(1,), (2,)])
+    assert runtime.tick_is_noop
+    assert runtime.skip_noop_tick()
+    assert runtime.ticks_skipped == 1
+    assert not runtime.has_pending_input
+    assert runtime.read("t") == {(1,), (2,)}
+    # ...and a subsequent real tick still works
+    runtime.insert("t", [(3,)])
+    runtime.tick()
+    assert runtime.read("t") == {(1,), (2,), (3,)}
+
+
+def test_noop_tick_never_skipped_with_end_of_step_rules():
+    runtime = BloomRuntime(DeferredModule())
+    assert not runtime.tick_is_noop  # <+ / <- rules emit every tick
+    assert not runtime.skip_noop_tick()

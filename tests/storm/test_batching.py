@@ -195,3 +195,40 @@ class TestBatchedReplay:
         ]
         assert sorted(commits) == list(range(6))
         assert committed_store(cluster) == reference_counts(6, 20)
+
+
+class TestStaleAttemptFastPath:
+    def test_stale_attempt_items_dropped_before_service(self):
+        """Items of a superseded attempt are dropped at arrival — they
+        never enter the service queue, so no service time is paid."""
+        topology = build_wordcount_topology(
+            workers=2, total_batches=2, batch_size=10
+        )
+        cluster = StormCluster(topology, ClusterConfig())
+        task = cluster.bolt_task(cluster.task_names("Count")[0])
+        # the bolt has seen attempt 2 of batch 5
+        task._ensure_attempt(5, 2)
+        before = len(task._queue)
+        task.on_item("splitter-0", 5, 1, ("tuple", ("w", 5)))
+        assert len(task._queue) == before          # never queued
+        assert task.stale_items_dropped == 1
+        # current and future attempts still flow through
+        task.on_item("splitter-0", 5, 2, ("tuple", ("w", 5)))
+        task.on_item("splitter-0", 5, 3, ("tuple", ("w", 5)))
+        assert len(task._queue) >= before + 1
+        assert task.stale_items_dropped == 1
+
+    def test_replay_storms_still_commit_exact_counts(self):
+        """Aggressive replay timeouts (attempts racing each other) with
+        the fast path in place must not change committed results."""
+        for seed in range(4):
+            metrics, cluster = run_wordcount(
+                workers=2,
+                total_batches=3,
+                batch_size=24,
+                frame_size=4,
+                replay_timeout=0.02,  # shorter than batch completion
+                seed=seed,
+            )
+            assert metrics.batches_acked == 3
+            assert committed_store(cluster) == reference_counts(3, 24, seed=seed)
