@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import functools
 
-from repro.apps.ad_network import AdWorkload, run_ad_network
+from repro.api import get_app
+from repro.apps.ad_network import AdWorkload
 from repro.bench import BenchReport, JsonReporter, Scenario, run_bench
 
 SERIES_BUCKET = 0.25
@@ -97,9 +98,9 @@ def run_strategies(servers: int, strategies, seed: int = 7):
     workload = workload_for(servers)
     results = {}
     for strategy in strategies:
-        results[strategy] = run_ad_network(
+        results[strategy] = get_app("adnet").run(
             strategy, workload=workload, seed=seed, workload_seed=seed
-        )
+        ).result
     return workload, results
 
 
@@ -123,13 +124,12 @@ def _measure_strategy_cached(
     servers: int, strategy: str, tier: str, seed: int
 ) -> dict:
     workload = TIERS[tier](servers)
-    result = run_ad_network(strategy, workload=workload, seed=seed, workload_seed=seed)
+    outcome = get_app("adnet").run(
+        strategy, workload=workload, seed=seed, workload_seed=seed
+    )
+    result = outcome.result
     return {
-        "completion_time": result.completion_time,
-        "processed": result.processed_count(),
-        "total_entries": workload.total_entries,
-        "replicas_agree": result.replicas_agree,
-        "registry_lookups": result.registry_lookups,
+        **outcome.metrics,
         # immutable: this dict is served from the cache to several tests,
         # and run_bench's dict(metrics) copy is shallow
         "series": tuple(result.processed_series(bucket=SERIES_BUCKET)),

@@ -30,7 +30,7 @@ import functools
 import sys
 
 from benchmarks._adreport import report_name, tier_from_flags
-from repro.apps.wordcount import run_wordcount
+from repro.api import get_app
 from repro.bench import BenchReport, JsonReporter, run_bench, sweep
 
 CLUSTER_SIZES = (5, 10, 15, 20)
@@ -103,16 +103,18 @@ def measure(*, kind: str, tier: str = "default", **params) -> dict:
 
 def _measure_throughput(*, workers: int, mode: str, tier: str) -> dict:
     # offered load scales with the cluster, as a real stream would:
-    # each spout task contributes the same number of batches
+    # each spout task contributes the same number of batches.  ``mode``
+    # names a registered strategy of the wordcount app: the registry is
+    # the single wiring path shared with the CLI and the audit.
     per_spout = TIER_PARAMS[tier]["batches_per_spout"]
     batch_size = TIER_PARAMS[tier]["batch_size"]
     spouts = max(1, workers // 2)
-    metrics, _cluster = run_wordcount(
+    metrics = get_app("wordcount").run(
+        mode,
         workers=workers,
         total_batches=per_spout * spouts,
         batch_size=batch_size,
-        transactional=mode == "transactional",
-    )
+    ).result
     return {
         "throughput": metrics.throughput,
         "batches_acked": metrics.batches_acked,
@@ -123,7 +125,8 @@ def _measure_throughput(*, workers: int, mode: str, tier: str) -> dict:
 
 def _measure_batching(*, frame_size: int, scale: int, tier: str) -> dict:
     batch_size = TIER_PARAMS[tier]["batching_batch_size"]
-    metrics, _cluster = run_wordcount(
+    metrics = get_app("wordcount").run(
+        "sealed",
         workers=BATCHING_WORKERS,
         total_batches=BATCHING_BATCHES,
         batch_size=batch_size,
@@ -132,7 +135,7 @@ def _measure_batching(*, frame_size: int, scale: int, tier: str) -> dict:
             "Splitter": BATCHING_WORKERS * scale,
             "Count": BATCHING_WORKERS * scale,
         },
-    )
+    ).result
     return {
         "throughput": metrics.throughput,
         "batches_acked": metrics.batches_acked,

@@ -8,7 +8,8 @@ ASCII progress curves like Figures 12-14.
 Run:  python examples/ad_reporting.py
 """
 
-from repro.apps.ad_network import STRATEGIES, AdWorkload, run_ad_network
+from repro.api import get_app
+from repro.apps.ad_network import STRATEGIES, AdWorkload
 
 
 def sparkline(series, total, width=48):
@@ -38,9 +39,10 @@ def main() -> None:
           f"{workload.report_replicas} reporting replicas, CAMPAIGN query")
     print()
     print(f"  {'strategy':<18} {'completion':>11} {'replicas agree':>15}   progress")
+    app = get_app("adnet")
     results = {}
     for strategy in STRATEGIES:
-        result = run_ad_network(strategy, workload=workload, seed=7)
+        result = app.run(strategy, seed=7, workload=workload).result
         results[strategy] = result
         series = result.processed_series(bucket=result.completion_time / 40 or 0.1)
         curve = sparkline(series, workload.total_entries)

@@ -1,48 +1,31 @@
 #!/usr/bin/env python3
-"""Quickstart: analyze an annotated dataflow and synthesize coordination.
+"""Quickstart: the full Blazes loop from a single app object.
 
-This walks the paper's core loop on the Storm word-count example
-(Section VI-A): build a grey-box spec, run the label analysis, inspect the
-derivations, and see which coordination strategy Blazes picks — global
-ordering without seals, partition sealing with them.
+The paper's workflow — annotate your dataflow, analyze it, let Blazes
+synthesize the cheapest sufficient coordination, execute — driven through
+the programmatic API (`repro.api`): the word-count application is
+declared once (annotated bolts + topology) and the spec, the analysis,
+the plan, and the execution are all derived from that declaration.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core import (
-    analyze,
-    choose_strategies,
-    loads_spec,
-    render_all,
-    render_report,
-)
+from repro.api import get_app
+from repro.core import render_all, render_report
 
-WORDCOUNT_SPEC = """
-name: wordcount
-components:
-  Splitter:
-    annotations:
-      - { from: tweets, to: words, label: CR }
-  Count:
-    annotations:
-      - { from: words, to: counts, label: OW, subscript: [word, batch] }
-  Commit:
-    annotations:
-      - { from: counts, to: db, label: CW }
-streams:
-  - { name: tweets, to: Splitter.tweets }
-  - { name: words, from: Splitter.words, to: Count.words }
-  - { name: counts, from: Count.counts, to: Commit.counts }
-  - { name: db, from: Commit.db }
-"""
+app = get_app("wordcount")
 
 
 def main() -> None:
     print("=" * 72)
-    print("1. Without stream annotations: the topology needs coordination")
+    print("1. The derived grey-box spec (from @annotate on the bolts)")
     print("=" * 72)
-    dataflow, fds = loads_spec(WORDCOUNT_SPEC)
-    result = analyze(dataflow, fds)
+    print(app.spec("sealed"))
+
+    print("=" * 72)
+    print("2. Without the batch seal: the topology needs coordination")
+    print("=" * 72)
+    result = app.analyze("eager")
     print(render_report(result))
     print()
     print("Derivations (paper Section VI-A notation):")
@@ -50,21 +33,27 @@ def main() -> None:
     print()
 
     print("=" * 72)
-    print("2. With the input stream sealed on `batch`: no global ordering")
+    print("3. With the input sealed on `batch`: no global ordering")
     print("=" * 72)
-    sealed_spec = WORDCOUNT_SPEC.replace(
-        "{ name: tweets, to: Splitter.tweets }",
-        "{ name: tweets, to: Splitter.tweets, seal: [batch] }",
-    )
-    dataflow, fds = loads_spec(sealed_spec)
-    result = analyze(dataflow, fds)
+    result = app.analyze("sealed")
     print(render_report(result))
     print()
-
-    plan = choose_strategies(result)
+    plan = app.plan("sealed")
     print("Synthesized strategy for Count:", plan.strategy_for("Count").describe())
     assert result.is_consistent
     assert not plan.uses_global_order
+    print()
+
+    print("=" * 72)
+    print("4. Execute the certified deployment on the simulator")
+    print("=" * 72)
+    outcome = app.run("sealed", seed=7, smoke=True)
+    for name, value in outcome.metrics.items():
+        print(f"  {name:<18} : {value:,.4f}" if isinstance(value, float)
+              else f"  {name:<18} : {value}")
+    print()
+    print("Next: `blazes audit --smoke` checks these labels empirically,")
+    print("and docs/api.md walks the whole annotate→analyze→run→audit loop.")
 
 
 if __name__ == "__main__":

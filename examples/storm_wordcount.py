@@ -9,8 +9,7 @@ the committed stores are identical and reports the throughput gap.
 Run:  python examples/storm_wordcount.py
 """
 
-from repro.apps.wordcount import analyze_wordcount, run_wordcount
-from repro.core import choose_strategies
+from repro.api import get_app
 
 
 def committed_store(cluster):
@@ -21,9 +20,10 @@ def committed_store(cluster):
 
 
 def main() -> None:
+    app = get_app("wordcount")
     print("Blazes verdict for the sealed topology:")
-    result = analyze_wordcount(sealed=True)
-    plan = choose_strategies(result)
+    result = app.analyze("sealed")
+    plan = app.plan("sealed")
     print(f"  sink label = {result.label_of('Commit->sink')}")
     print(f"  strategy   = {plan.strategy_for('Count').describe()}")
     print()
@@ -32,14 +32,11 @@ def main() -> None:
     print(f"Running both deployments: {workers} workers, "
           f"{batches} batches x {batch_size} tweets")
 
-    sealed, sealed_cluster = run_wordcount(
-        workers=workers, total_batches=batches, batch_size=batch_size,
-        transactional=False,
-    )
-    txn, txn_cluster = run_wordcount(
-        workers=workers, total_batches=batches, batch_size=batch_size,
-        transactional=True,
-    )
+    run_kwargs = dict(workers=workers, total_batches=batches, batch_size=batch_size)
+    sealed_outcome = app.run("sealed", **run_kwargs)
+    txn_outcome = app.run("transactional", **run_kwargs)
+    sealed, sealed_cluster = sealed_outcome.result, sealed_outcome.cluster
+    txn, txn_cluster = txn_outcome.result, txn_outcome.cluster
 
     assert committed_store(sealed_cluster) == committed_store(txn_cluster), (
         "both deployments must commit identical counts"

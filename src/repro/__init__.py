@@ -4,6 +4,9 @@ A reproduction of Alvaro, Conway, Hellerstein and Maier's Blazes system:
 
 * :mod:`repro.core` — the analyzer: component/stream annotations, the label
   inference and reconciliation procedures, and coordination synthesis;
+* :mod:`repro.api` — the programmer-facing application layer: ``@annotate``
+  declarations, the :class:`~repro.api.BlazesApp` façade
+  (spec/analyze/plan/run/audit), and the app registry;
 * :mod:`repro.sim` — a deterministic discrete-event cluster simulator;
 * :mod:`repro.coord` — coordination substrates: a Zookeeper-like sequencer,
   total-order delivery, and the seal protocol;

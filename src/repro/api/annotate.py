@@ -1,0 +1,124 @@
+"""The ``@annotate`` decorator: path annotations declared on the component.
+
+Blazes is pitched as a programmer-facing tool: the annotation belongs next
+to the code it describes, not in a side-channel YAML file.  ``@annotate``
+attaches one spec-syntax path annotation to a component class::
+
+    @annotate(frm="words", to="counts", label="OW", subscript=["word", "batch"])
+    class CountBolt(Bolt):
+        ...
+
+Stacked decorators read top-down: the topmost ``@annotate`` is the first
+entry of the resulting ``blazes_annotations`` list.  The attribute name is
+the one :func:`repro.storm.adapter.topology_to_dataflow` already consumes,
+so annotated Storm bolts keep working with the existing adapter; plain
+classes (grey-box components) and :class:`~repro.bloom.module.BloomModule`
+subclasses carry the same attribute.
+
+For Bloom modules the declaration is a *claim*, not a source of truth —
+the white-box analysis derives the annotations from the rules, and
+:func:`crosscheck_module` verifies the programmer's declared labels match
+what the analyzer extracted (the API runs this check whenever it builds a
+dataflow from an annotated module).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Any, TypeVar
+
+from repro.core.annotations import parse_annotation
+from repro.errors import ApiError
+
+__all__ = ["annotate", "declared_annotations", "crosscheck_module"]
+
+_ATTR = "blazes_annotations"
+
+C = TypeVar("C", bound=type)
+
+
+def annotate(
+    *,
+    frm: str,
+    to: str,
+    label: str,
+    subscript: Iterable[str] | None = None,
+):
+    """Declare one annotated path ``frm -> to`` on a component class.
+
+    ``label`` is spec syntax (``CR``/``CW``/``OR``/``OW``, optionally
+    starred); ``subscript`` the gate of an order-sensitive label.  The
+    annotation is validated eagerly so a typo fails at class-definition
+    time, not at first analysis.
+    """
+    parse_annotation(label, list(subscript) if subscript is not None else None)
+    entry: dict[str, Any] = {"from": str(frm), "to": str(to), "label": str(label)}
+    if subscript is not None:
+        entry["subscript"] = [str(attr) for attr in subscript]
+
+    def decorate(cls: C) -> C:
+        if not isinstance(cls, type):
+            raise ApiError("@annotate decorates component classes")
+        existing = cls.__dict__.get(_ATTR)
+        if existing is None:
+            # never mutate an inherited list (Bolt's class default is shared)
+            annotations: list[dict[str, Any]] = []
+            setattr(cls, _ATTR, annotations)
+        else:
+            annotations = existing
+        for item in annotations:
+            if item["from"] == entry["from"] and item["to"] == entry["to"]:
+                raise ApiError(
+                    f"{cls.__name__}: duplicate @annotate for path "
+                    f"{entry['from']} -> {entry['to']}"
+                )
+        # decorators apply bottom-up; prepending keeps source reading order
+        annotations.insert(0, entry)
+        return cls
+
+    return decorate
+
+
+def declared_annotations(obj: Any) -> list[dict[str, Any]]:
+    """The spec-syntax annotations declared on a component (or its class)."""
+    annotations = getattr(obj, _ATTR, None)
+    return list(annotations) if annotations else []
+
+
+def _canonical(entries: Iterable[dict[str, Any]]) -> set[tuple]:
+    return {
+        (
+            entry["from"],
+            entry["to"],
+            str(parse_annotation(entry["label"], entry.get("subscript"))),
+        )
+        for entry in entries
+    }
+
+
+def crosscheck_module(module: Any, analysis: Any | None = None) -> None:
+    """Verify a Bloom module's declared labels against the white-box analysis.
+
+    ``module`` is a :class:`~repro.bloom.module.BloomModule` carrying
+    ``@annotate`` declarations; ``analysis`` an optional precomputed
+    :class:`~repro.bloom.analysis.ModuleAnalysis`.  Modules without
+    declarations pass trivially (the white-box path needs no claims).
+    Raises :class:`~repro.errors.ApiError` on any drift, naming both sides.
+    """
+    declared = declared_annotations(module)
+    if not declared:
+        return
+    if analysis is None:
+        from repro.bloom.analysis import analyze_module
+
+        analysis = analyze_module(module)
+    derived = analysis.spec_annotations()
+    want, have = _canonical(declared), _canonical(derived)
+    if want != have:
+        name = type(module).__name__
+        missing = sorted(want - have)
+        extra = sorted(have - want)
+        raise ApiError(
+            f"{name}: declared annotations disagree with the white-box "
+            f"analysis (declared-only: {missing}; derived-only: {extra})"
+        )

@@ -1,0 +1,512 @@
+"""The :class:`BlazesApp` façade: one object per application.
+
+A Blazes application is declared **once** — its components (annotated via
+:func:`repro.api.annotate` or analyzable as Bloom modules), its stream
+wiring, and its deployment strategies — and everything else is derived
+from that single declaration:
+
+* ``app.dataflow()`` / ``app.spec()`` — the grey-box
+  :class:`~repro.core.graph.Dataflow` (and its YAML rendering) extracted
+  from the declared components, with Bloom modules analyzed white-box and
+  cross-checked against any declared labels;
+* ``app.analyze()`` / ``app.plan()`` — the label analysis and the
+  synthesized coordination plan for a chosen strategy;
+* ``app.run(strategy)`` — execution on the matching simulator backend,
+  with the strategy's sealing/ordering wiring installed by the runner;
+* ``app.audit()`` — the fault-injection campaign of
+  :mod:`repro.chaos.campaign`, fed by the app's audit profile.
+
+Apps are registered (:func:`repro.api.register`) so the CLI, the
+benchmarks, and the audit enumerate one catalog instead of hardcoding
+names.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from typing import Any
+
+from repro.api.annotate import crosscheck_module, declared_annotations
+from repro.core.annotations import parse_annotation
+from repro.core.fd import FDSet
+from repro.core.graph import Dataflow
+from repro.core.labels import Label, max_label
+from repro.errors import ApiError
+
+__all__ = ["AuditProfile", "BlazesApp", "RunOutcome", "StrategySpec"]
+
+
+@dataclasses.dataclass(frozen=True)
+class StrategySpec:
+    """One deployment regime of an app.
+
+    ``seals`` overrides stream seal annotations for the analysis side
+    (stream name -> seal key attributes, or ``None`` to strip a declared
+    seal); for Storm-backed apps the keys are spout names, matching
+    :func:`repro.storm.adapter.topology_to_dataflow`.  ``run_params`` are
+    extra keyword arguments merged into every ``app.run`` call under this
+    strategy — the declarative encoding of what the strategy changes about
+    the deployment.
+    """
+
+    name: str
+    coordinated: bool = False
+    seals: Mapping[str, Sequence[str] | None] = dataclasses.field(
+        default_factory=dict
+    )
+    run_params: Mapping[str, Any] = dataclasses.field(default_factory=dict)
+    description: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class RunOutcome:
+    """The uniform result of ``BlazesApp.run``.
+
+    ``metrics`` is a JSON-able summary (what the CLI prints and CI
+    archives); ``result`` the backend-specific result object
+    (:class:`~repro.storm.metrics.RunMetrics`,
+    :class:`~repro.apps.ad_network.AdNetworkResult`, ...); ``cluster`` the
+    finished simulated cluster for state inspection.
+    """
+
+    app: str
+    strategy: str
+    seed: int
+    backend: str
+    metrics: dict[str, Any]
+    result: Any
+    cluster: Any
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON-serializable view of this outcome."""
+        return {
+            "app": self.app,
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "backend": self.backend,
+            "metrics": dict(self.metrics),
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class AuditProfile:
+    """How the fault-injection campaign drives one app.
+
+    ``strategies`` are the regimes the audit sweeps (at least one
+    coordinated and one uncoordinated); ``schedules(smoke)`` the fault
+    schedules inside the app's fault-tolerance envelope; ``horizon`` the
+    virtual-time scale normalized schedules stretch over;
+    ``run_params(smoke)`` the workload kwargs for ``app.run``;
+    ``roles(cluster)`` resolves the schedule role vocabulary (``worker`` /
+    ``source`` / ``client`` / ...) to process names on a built cluster;
+    ``observe(outcome, params)`` extracts the
+    :class:`~repro.chaos.oracle.RunObservation` the oracle classifies.
+    ``workload_seed`` pins the generated workload so different network
+    seeds explore delivery interleavings of one input set.
+    """
+
+    strategies: tuple[str, ...]
+    horizon: float
+    schedules: Callable[[bool], tuple]
+    run_params: Callable[[bool], dict[str, Any]]
+    roles: Callable[[Any], dict[str, list[str]]]
+    observe: Callable[[RunOutcome, dict[str, Any]], Any]
+    workload_seed: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class _ComponentDecl:
+    name: str
+    factory: Callable[[], Any] | None
+    rep: bool
+    annotations: tuple[dict[str, Any], ...] | None
+
+
+@dataclasses.dataclass(frozen=True)
+class _StreamDecl:
+    name: str
+    src: tuple[str, str] | None
+    dst: tuple[str, str] | None
+    seal: tuple[str, ...] | None
+    rep: bool
+
+
+def _endpoint(value: Any, stream: str, side: str) -> tuple[str, str] | None:
+    from repro.core.spec import parse_endpoint
+    from repro.errors import SpecError
+
+    try:
+        return parse_endpoint(value, stream, side)
+    except SpecError as exc:
+        raise ApiError(str(exc)) from None
+
+
+class BlazesApp:
+    """A registered Blazes application: declare once, derive everything."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        backend: str,
+        description: str = "",
+        runner: Callable[..., tuple[dict[str, Any], Any, Any]] | None = None,
+        defaults: Mapping[str, Any] | None = None,
+        smoke_defaults: Mapping[str, Any] | None = None,
+    ) -> None:
+        if backend not in ("storm", "bloom"):
+            raise ApiError(f"unknown backend {backend!r}; have storm, bloom")
+        self.name = name
+        self.backend = backend
+        self.description = description
+        self._runner = runner
+        self._defaults = dict(defaults or {})
+        self._smoke_defaults = dict(smoke_defaults or {})
+        self._topology_factory: Callable[[str], Any] | None = None
+        self._components: list[_ComponentDecl] = []
+        self._streams: list[_StreamDecl] = []
+        self._fd_entries: list[tuple[list[str], list[str], bool]] = []
+        self._strategies: dict[str, StrategySpec] = {}
+        self._default_strategy: str | None = None
+        self.audit_spec: AuditProfile | None = None
+        # the module whose import registers this app, stamped by
+        # repro.api.register(); process-pool audit workers import it
+        # before resolving the registry, so apps registered outside
+        # repro.apps still work across process boundaries
+        self.origin_module: str | None = None
+        # component name -> (instance, ModuleAnalysis | None); factories are
+        # fixed at declaration time, so the white-box analysis (and its
+        # cross-check) runs once per component, not once per analyze() call
+        self._instances: dict[str, tuple[Any, Any]] = {}
+
+    # ------------------------------------------------------------------
+    # declaration (fluent: every method returns self)
+    # ------------------------------------------------------------------
+    def topology(self, factory: Callable[[str], Any]) -> "BlazesApp":
+        """Declare a Storm topology factory: ``factory(strategy) -> Topology``.
+
+        The dataflow is extracted with
+        :func:`repro.storm.adapter.topology_to_dataflow`, the strategy's
+        ``seals`` naming the punctuated spouts.  Mutually exclusive with
+        :meth:`component`/:meth:`stream` declarations.
+        """
+        if self.backend != "storm":
+            raise ApiError(f"app {self.name!r}: topology() needs the storm backend")
+        self._topology_factory = factory
+        return self
+
+    def component(
+        self,
+        name: str,
+        factory: Callable[[], Any] | None = None,
+        *,
+        rep: bool = False,
+        annotations: Iterable[Mapping[str, Any]] | None = None,
+    ) -> "BlazesApp":
+        """Declare one component of a bloom/grey-box dataflow.
+
+        ``factory`` builds the component instance: a
+        :class:`~repro.bloom.module.BloomModule` is analyzed white-box
+        (and cross-checked against any ``@annotate`` declarations on it);
+        anything else contributes its ``@annotate`` annotations directly.
+        ``annotations`` supplies explicit spec-syntax entries for
+        components with no class to decorate.
+        """
+        if any(decl.name == name for decl in self._components):
+            raise ApiError(f"app {self.name!r}: duplicate component {name!r}")
+        entries = tuple(dict(item) for item in annotations) if annotations else None
+        if factory is None and entries is None:
+            raise ApiError(
+                f"app {self.name!r}: component {name!r} needs a factory or "
+                f"explicit annotations"
+            )
+        self._components.append(_ComponentDecl(name, factory, rep, entries))
+        return self
+
+    def stream(
+        self,
+        name: str,
+        *,
+        frm: Any = None,
+        to: Any = None,
+        seal: Iterable[str] | None = None,
+        rep: bool = False,
+    ) -> "BlazesApp":
+        """Declare one stream; endpoints are ``"Component.interface"``."""
+        if any(decl.name == name for decl in self._streams):
+            raise ApiError(f"app {self.name!r}: duplicate stream {name!r}")
+        self._streams.append(
+            _StreamDecl(
+                name,
+                _endpoint(frm, name, "from"),
+                _endpoint(to, name, "to"),
+                tuple(seal) if seal is not None else None,
+                rep,
+            )
+        )
+        return self
+
+    def fd(
+        self, by: Iterable[str], determines: Iterable[str], *, injective: bool = True
+    ) -> "BlazesApp":
+        """Declare a functional dependency used by seal compatibility."""
+        self._fd_entries.append((list(by), list(determines), injective))
+        return self
+
+    def strategy(
+        self,
+        name: str,
+        *,
+        coordinated: bool = False,
+        seals: Mapping[str, Sequence[str] | None] | None = None,
+        run_params: Mapping[str, Any] | None = None,
+        default: bool = False,
+        description: str = "",
+    ) -> "BlazesApp":
+        """Declare one deployment strategy (see :class:`StrategySpec`)."""
+        if name in self._strategies:
+            raise ApiError(f"app {self.name!r}: duplicate strategy {name!r}")
+        self._strategies[name] = StrategySpec(
+            name,
+            coordinated=coordinated,
+            seals=dict(seals or {}),
+            run_params=dict(run_params or {}),
+            description=description,
+        )
+        if default or self._default_strategy is None:
+            self._default_strategy = name
+        return self
+
+    def audit_profile(self, **kwargs: Any) -> "BlazesApp":
+        """Attach the audit profile (see :class:`AuditProfile`)."""
+        profile = AuditProfile(**kwargs)
+        for strategy in profile.strategies:
+            self.strategy_spec(strategy)  # validates the names
+        self.audit_spec = profile
+        return self
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    @property
+    def strategies(self) -> tuple[str, ...]:
+        """Declared strategy names, in declaration order."""
+        return tuple(self._strategies)
+
+    @property
+    def default_strategy(self) -> str:
+        if self._default_strategy is None:
+            raise ApiError(f"app {self.name!r} declares no strategies")
+        return self._default_strategy
+
+    @property
+    def auditable(self) -> bool:
+        """True when the app carries an audit profile."""
+        return self.audit_spec is not None
+
+
+    def strategy_spec(self, name: str | None = None) -> StrategySpec:
+        """Resolve a strategy name (``None`` = the default) to its spec."""
+        name = name if name is not None else self.default_strategy
+        try:
+            return self._strategies[name]
+        except KeyError:
+            raise ApiError(
+                f"app {self.name!r} has no strategy {name!r}; "
+                f"have {list(self._strategies)}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # derivation: spec -> analysis -> plan
+    # ------------------------------------------------------------------
+    def dataflow(self, strategy: str | None = None) -> Dataflow:
+        """The logical dataflow under one strategy's stream annotations."""
+        spec = self.strategy_spec(strategy)
+        if self._topology_factory is not None:
+            from repro.storm.adapter import topology_to_dataflow
+
+            seals = {
+                spout: list(key)
+                for spout, key in spec.seals.items()
+                if key is not None
+            }
+            return topology_to_dataflow(
+                self._topology_factory(spec.name), seals=seals
+            )
+        if not self._components:
+            raise ApiError(
+                f"app {self.name!r} declares neither a topology nor components"
+            )
+        flow = Dataflow(self.name)
+        self._attach_components(flow)
+        for decl in self._streams:
+            seal = decl.seal
+            if decl.name in spec.seals:
+                override = spec.seals[decl.name]
+                seal = tuple(override) if override is not None else None
+            flow.add_stream(
+                decl.name, src=decl.src, dst=decl.dst, seal=seal, rep=decl.rep
+            )
+        flow.validate()
+        return flow
+
+    def _component_instance(self, decl: _ComponentDecl) -> tuple[Any, Any]:
+        """``(instance, analysis)`` for one declaration, cached.
+
+        ``analysis`` is the cross-checked white-box
+        :class:`~repro.bloom.analysis.ModuleAnalysis` for Bloom modules
+        and ``None`` otherwise.
+        """
+        if decl.name not in self._instances:
+            from repro.bloom.module import BloomModule
+
+            instance = decl.factory() if decl.factory is not None else None
+            analysis = None
+            if isinstance(instance, BloomModule):
+                from repro.bloom.analysis import analyze_module
+
+                analysis = analyze_module(instance)
+                crosscheck_module(instance, analysis)
+            self._instances[decl.name] = (instance, analysis)
+        return self._instances[decl.name]
+
+    def _attach_components(self, flow: Dataflow) -> None:
+        for decl in self._components:
+            instance, analysis = self._component_instance(decl)
+            if analysis is not None:
+                from repro.bloom.analysis import attach_component
+
+                attach_component(
+                    flow, instance, name=decl.name, rep=decl.rep, analysis=analysis
+                )
+                continue
+            entries = (
+                list(decl.annotations)
+                if decl.annotations is not None
+                else declared_annotations(instance)
+            )
+            if not entries:
+                raise ApiError(
+                    f"app {self.name!r}: component {decl.name!r} carries no "
+                    f"annotations (use @annotate or pass annotations=...)"
+                )
+            component = flow.add_component(decl.name, rep=decl.rep)
+            for entry in entries:
+                component.add_path(
+                    str(entry["from"]),
+                    str(entry["to"]),
+                    parse_annotation(entry["label"], entry.get("subscript")),
+                )
+
+    def fds(self) -> FDSet:
+        """Functional dependencies: declared plus white-box identity FDs."""
+        fds = FDSet()
+        for by, determines, injective in self._fd_entries:
+            fds.add(by, determines, injective=injective)
+        for decl in self._components:
+            _instance, analysis = self._component_instance(decl)
+            if analysis is not None:
+                fds = fds.merged(analysis.fds)
+        return fds
+
+    def spec(self, strategy: str | None = None) -> str:
+        """The YAML grey-box spec derived from the declaration."""
+        from repro.core.spec import dump_spec
+
+        return dump_spec(self.dataflow(strategy), self.fds())
+
+    def analyze(self, strategy: str | None = None):
+        """Run the label analysis for one strategy's dataflow."""
+        from repro.core.analysis import analyze
+
+        return analyze(self.dataflow(strategy), self.fds())
+
+    def plan(self, strategy: str | None = None):
+        """The coordination plan synthesized from :meth:`analyze`."""
+        from repro.core.strategy import choose_strategies
+
+        return choose_strategies(self.analyze(strategy))
+
+    def predicted_label(self, strategy: str | None = None) -> Label:
+        """The worst sink label the analysis predicts for a strategy."""
+        return max_label(self.analyze(strategy).sink_labels.values())
+
+    # ------------------------------------------------------------------
+    # execution and audit
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        strategy: str | None = None,
+        *,
+        seed: int = 0,
+        smoke: bool = False,
+        **kwargs: Any,
+    ) -> RunOutcome:
+        """Execute the app under one strategy and return a :class:`RunOutcome`.
+
+        Keyword precedence, lowest to highest: app defaults, smoke
+        defaults (when ``smoke=True``), the strategy's ``run_params``,
+        then the caller's ``kwargs``.
+        """
+        if self._runner is None:
+            raise ApiError(f"app {self.name!r} declares no runner")
+        spec = self.strategy_spec(strategy)
+        params: dict[str, Any] = dict(self._defaults)
+        if smoke:
+            params.update(self._smoke_defaults)
+        params.update(spec.run_params)
+        params.update(kwargs)
+        metrics, result, cluster = self._runner(spec.name, seed=seed, **params)
+        return RunOutcome(
+            app=self.name,
+            strategy=spec.name,
+            seed=seed,
+            backend=self.backend,
+            metrics=dict(metrics),
+            result=result,
+            cluster=cluster,
+        )
+
+    def audit(
+        self,
+        *,
+        smoke: bool = False,
+        seeds: Sequence[int] | None = None,
+        schedules: Sequence[str] | None = None,
+        jobs: int = 1,
+        name: str | None = None,
+        reporter: Any | None = None,
+    ):
+        """Run this app's fault-injection campaign (:mod:`repro.chaos`)."""
+        from repro.chaos.campaign import (
+            DEFAULT_SEEDS,
+            DEFAULT_SMOKE_SEEDS,
+            audit_campaign,
+        )
+
+        if self.audit_spec is None:
+            raise ApiError(f"app {self.name!r} has no audit profile")
+        if seeds is None:
+            seeds = DEFAULT_SMOKE_SEEDS if smoke else DEFAULT_SEEDS
+        return audit_campaign(
+            (self.name,),
+            smoke=smoke,
+            seeds=seeds,
+            schedules=schedules,
+            name=name or f"audit-{self.name}",
+            reporter=reporter,
+            jobs=jobs,
+        )
+
+    def harness(self, *, smoke: bool = False):
+        """The generic audit harness over this app's profile."""
+        from repro.chaos.harnesses import AppHarness
+
+        return AppHarness(self, smoke=smoke)
+
+    def __repr__(self) -> str:
+        return (
+            f"BlazesApp({self.name!r}, backend={self.backend!r}, "
+            f"strategies={list(self._strategies)})"
+        )

@@ -20,6 +20,7 @@ import dataclasses
 import random
 from collections.abc import Callable
 
+from repro.api import BlazesApp, annotate, register
 from repro.bloom.cluster import INSERT_MSG, BloomCluster, BloomNode
 from repro.bloom.module import BloomModule
 from repro.bloom.rewrite import SealedInputAdapter
@@ -32,6 +33,7 @@ from repro.errors import SimulationError
 from repro.sim.network import LatencyModel, Process
 
 __all__ = [
+    "APP",
     "KVS_STRATEGIES",
     "LwwKvs",
     "SnapshotCache",
@@ -49,6 +51,11 @@ PUT_STREAM = "kvs.puts"
 CLIENT = "client"
 
 
+# The @annotate declarations are programmer *claims*; the white-box
+# analyzer re-derives them from the rules and repro.api cross-checks the
+# two whenever the registered app builds its dataflow.
+@annotate(frm="put", to="getr", label="OR", subscript=["key"])
+@annotate(frm="get", to="getr", label="OR", subscript=["key"])
 class LwwKvs(BloomModule):
     """A last-writer-wins register store.
 
@@ -101,6 +108,7 @@ class LwwKvs(BloomModule):
         return best[1] if best is not None else None
 
 
+@annotate(frm="response", to="cached", label="CW")
 class SnapshotCache(BloomModule):
     """A replicated cache that remembers every response it ever saw.
 
@@ -443,3 +451,108 @@ def _attach_response_forwarder(store: BloomNode, cache_name: str) -> None:
             store.send(cache_name, INSERT_MSG, ("response", sorted(fresh)))
 
     store.on_tick = forward
+
+
+# ----------------------------------------------------------------------
+# the registered app (repro.api)
+# ----------------------------------------------------------------------
+def _run_app(strategy: str, *, seed: int = 0, **kwargs):
+    result = run_kvs(strategy, seed=seed, **kwargs)
+    summary = {
+        "total_writes": result.workload.total_writes,
+        "gets": result.workload.gets,
+        "stores_converged": result.stores_converged,
+        "caches_agree": result.caches_agree,
+    }
+    return summary, result, result.cluster
+
+
+def _audit_schedules(_smoke: bool):
+    from repro.chaos.schedule import baseline, reorder_burst, split_link
+
+    # Every client session rides reliable (TCP-like) channels: partitions
+    # delay traffic rather than destroying or duplicating it, so all
+    # divergence here is *order*-driven.  (No dup-burst: the network
+    # exempts reliable kinds from duplication, so the cell would silently
+    # reduce to baseline.)
+    return (
+        baseline(),
+        reorder_burst(),
+        split_link("client", 0, "worker", 0),
+    )
+
+
+def _audit_run_params(smoke: bool) -> dict:
+    return {
+        "workload": KvsWorkload(
+            keys=4 if smoke else 6,
+            writes_per_key=5 if smoke else 6,
+            gets=10 if smoke else 16,
+        )
+    }
+
+
+def _audit_roles(cluster: BloomCluster) -> dict[str, list[str]]:
+    names = sorted(process.name for process in cluster.network.processes)
+    return {
+        "worker": [n for n in names if n.startswith("store")],
+        "cache": [n for n in names if n.startswith("cache")],
+        "client": [n for n in names if n == CLIENT],
+    }
+
+
+def _audit_observe(outcome, _params: dict):
+    from repro.chaos.oracle import RunObservation
+
+    result: KvsResult = outcome.result
+    # Replica ``i`` is the store{i}/cache{i} pair: its committed state is
+    # what the cache pinned, its emitted history the store's GET responses.
+    return RunObservation(
+        seed=outcome.seed,
+        committed={
+            f"replica{i}": result.cache_entries(cache)
+            for i, cache in enumerate(result.cache_nodes)
+        },
+        emitted={
+            f"replica{i}": result.responses(store)
+            for i, store in enumerate(result.store_nodes)
+        },
+        truth=result.ground_truth_cache(),
+    )
+
+
+APP = register(
+    BlazesApp(
+        "kvs",
+        backend="bloom",
+        description="LWW key/value store feeding a replicated cache (III-B)",
+        runner=_run_app,
+        smoke_defaults={"workload": KvsWorkload(keys=4, writes_per_key=5, gets=10)},
+    )
+    .component("Store", LwwKvs, rep=True)
+    .component("Cache", SnapshotCache)
+    .stream("puts", to="Store.put")
+    .stream("gets", to="Store.get")
+    .stream("responses", frm="Store.getr", to="Cache.response")
+    .stream("cached", frm="Cache.cached")
+    .strategy(
+        "sealed",
+        coordinated=True,
+        seals={"puts": ["key"]},
+        default=True,
+        description="per-key seals with GET rendezvous",
+    )
+    .strategy(
+        "uncoordinated",
+        description="operations broadcast straight to every store replica",
+    )
+    .audit_profile(
+        strategies=("uncoordinated", "sealed"),
+        horizon=0.12,
+        schedules=_audit_schedules,
+        run_params=_audit_run_params,
+        roles=_audit_roles,
+        observe=_audit_observe,
+        workload_seed=7,
+    )
+)

@@ -15,6 +15,7 @@ import bisect
 import random
 from collections.abc import Callable
 
+from repro.api import BlazesApp, annotate, register
 from repro.core.analysis import AnalysisResult, analyze
 from repro.core.graph import Dataflow
 from repro.storm.adapter import topology_to_dataflow
@@ -24,6 +25,7 @@ from repro.storm.topology import Bolt, Spout, Topology, TopologyBuilder
 from repro.storm.tuples import Fields
 
 __all__ = [
+    "APP",
     "TweetSpout",
     "SplitterBolt",
     "CountBolt",
@@ -99,17 +101,18 @@ class TweetSpout(Spout):
         return batch
 
 
+@annotate(frm="tweets", to="words", label="CR")
 class SplitterBolt(Bolt):
     """Divides tweets into their constituent words (confluent, stateless)."""
 
     output_fields = Fields("word")
-    blazes_annotations = [{"from": "tweets", "to": "words", "label": "CR"}]
 
     def execute(self, tup, emit) -> None:
         for word in tup[0].split():
             emit((word,))
 
 
+@annotate(frm="words", to="counts", label="OW", subscript=["word", "batch"])
 class CountBolt(Bolt):
     """Tallies word occurrences within the current batch.
 
@@ -118,14 +121,6 @@ class CountBolt(Bolt):
     """
 
     output_fields = Fields("word", "batch", "count")
-    blazes_annotations = [
-        {
-            "from": "words",
-            "to": "counts",
-            "label": "OW",
-            "subscript": ["word", "batch"],
-        }
-    ]
 
     def __init__(self) -> None:
         self._counts: dict[tuple[str, int], int] = {}
@@ -149,6 +144,7 @@ class CountBolt(Bolt):
         }
 
 
+@annotate(frm="counts", to="db", label="CW")
 class CommitBolt(Bolt):
     """Records per-batch word frequencies in a backing store.
 
@@ -157,7 +153,6 @@ class CommitBolt(Bolt):
     """
 
     output_fields = Fields()
-    blazes_annotations = [{"from": "counts", "to": "db", "label": "CW"}]
 
     def __init__(self) -> None:
         self.store: dict[tuple[str, int], int] = {}
@@ -177,6 +172,7 @@ class CommitBolt(Bolt):
         self._pending.pop(batch_id, None)
 
 
+@annotate(frm="words", to="counts", label="OW", subscript=["word"])
 class EagerCountBolt(Bolt):
     """The *unsealed* counter: emits a running total on every word.
 
@@ -188,9 +184,6 @@ class EagerCountBolt(Bolt):
     """
 
     output_fields = Fields("word", "count")
-    blazes_annotations = [
-        {"from": "words", "to": "counts", "label": "OW", "subscript": ["word"]}
-    ]
 
     def __init__(self) -> None:
         self._totals: dict[str, int] = {}
@@ -201,6 +194,7 @@ class EagerCountBolt(Bolt):
         emit((word, self._totals[word]))
 
 
+@annotate(frm="counts", to="db", label="OW", subscript=["word"])
 class EagerCommitBolt(Bolt):
     """Last-writer-wins commit of running totals (order-sensitive).
 
@@ -211,9 +205,6 @@ class EagerCommitBolt(Bolt):
     """
 
     output_fields = Fields()
-    blazes_annotations = [
-        {"from": "counts", "to": "db", "label": "OW", "subscript": ["word"]}
-    ]
 
     def __init__(self) -> None:
         self.store: dict[str, int] = {}
@@ -391,3 +382,138 @@ def run_wordcount(
         chaos(cluster)
     cluster.run(max_events=max_events)
     return collect_metrics(cluster, batch_size), cluster
+
+
+# ----------------------------------------------------------------------
+# the registered app (repro.api)
+# ----------------------------------------------------------------------
+def _run_app(_strategy: str, *, seed: int = 0, **kwargs):
+    """Runner adapter: strategy differences arrive via ``run_params``."""
+    metrics, cluster = run_wordcount(seed=seed, **kwargs)
+    summary = {
+        "batches_acked": metrics.batches_acked,
+        "duration": metrics.duration,
+        "throughput": metrics.throughput,
+        "mean_batch_latency": metrics.mean_batch_latency,
+        "replays": metrics.replays,
+        "messages_sent": metrics.messages_sent,
+    }
+    return summary, metrics, cluster
+
+
+def _audit_schedules(_smoke: bool):
+    from repro.chaos.schedule import (
+        baseline,
+        crash_restart,
+        dup_burst,
+        loss_burst,
+        reorder_burst,
+        split_link,
+    )
+
+    # Replay-based fault tolerance is on, so the full chaos menu applies:
+    # crashes, loss, duplication, partitions, and reorder bursts are all
+    # healed by batch replay — for the sealed topology.
+    return (
+        baseline(),
+        reorder_burst(),
+        dup_burst(),
+        crash_restart("worker", 0),
+        loss_burst(),
+        split_link("splitter", 0, "worker", 0),
+    )
+
+
+def _audit_run_params(smoke: bool) -> dict:
+    return {
+        "workers": 2,
+        "total_batches": 4 if smoke else 6,
+        "batch_size": 10 if smoke else 12,
+        "replay_timeout": 0.6,
+        "max_events": 2_000_000,
+    }
+
+
+def _audit_roles(cluster: StormCluster) -> dict[str, list[str]]:
+    return {
+        "source": list(cluster.task_names("tweets")),
+        "splitter": list(cluster.task_names("Splitter")),
+        "worker": list(cluster.task_names("Count")),
+        "sink": list(cluster.task_names("Commit")),
+    }
+
+
+def _audit_observe(outcome, params: dict):
+    from repro.chaos.oracle import RunObservation
+
+    store = committed_store(outcome.cluster)
+    total_batches = params["total_batches"]
+    batch_size = params["batch_size"]
+    workload_seed = params["workload_seed"]
+    if outcome.strategy == "eager":
+        rows = frozenset(store.items())
+        truth = frozenset(
+            eager_reference_totals(total_batches, batch_size, workload_seed).items()
+        )
+    else:
+        rows = frozenset(
+            (word, batch, count) for (word, batch), count in store.items()
+        )
+        truth = frozenset(
+            (word, batch, count)
+            for (word, batch), count in reference_counts(
+                total_batches, batch_size, workload_seed
+            ).items()
+        )
+    # one logical store (sharded, not replicated): replica checks are
+    # vacuous; the oracle's cross-run and ground-truth checks carry it
+    return RunObservation(
+        seed=outcome.seed,
+        committed={"store": rows},
+        emitted={"store": rows},
+        truth=truth,
+    )
+
+
+APP = register(
+    BlazesApp(
+        "wordcount",
+        backend="storm",
+        description="Storm streaming word count (paper Figure 2)",
+        runner=_run_app,
+        smoke_defaults={"workers": 2, "total_batches": 3, "batch_size": 10},
+    )
+    .topology(
+        lambda strategy: build_wordcount_topology(
+            workers=1, total_batches=1, eager=strategy == "eager"
+        )
+    )
+    .strategy(
+        "sealed",
+        coordinated=True,
+        seals={"tweets": ["batch"]},
+        default=True,
+        description="batch-sealed input; no global commit ordering needed",
+    )
+    .strategy(
+        "transactional",
+        coordinated=True,
+        seals={"tweets": ["batch"]},
+        run_params={"transactional": True},
+        description="conservative deployment: commits serialized via Zookeeper",
+    )
+    .strategy(
+        "eager",
+        run_params={"eager": True},
+        description="unsealed cumulative counts, last-writer-wins commits",
+    )
+    .audit_profile(
+        strategies=("sealed", "eager"),
+        horizon=0.03,
+        schedules=_audit_schedules,
+        run_params=_audit_run_params,
+        roles=_audit_roles,
+        observe=_audit_observe,
+        workload_seed=0,
+    )
+)

@@ -13,8 +13,9 @@ in the spirit of the paper's Section VII evaluation:
   outputs across seeds (``Run``), across replicas after quiescence
   (``Inst``/``Diverge``), and against app ground truth (``Async`` vs
   exactly-once);
-* :mod:`repro.chaos.harnesses` — per-app adapters (wordcount, ad network,
-  KVS) that run one (strategy, schedule, seed) cell and extract a
+* :mod:`repro.chaos.harnesses` — the generic adapter over registered
+  :class:`~repro.api.BlazesApp` audit profiles that runs one
+  (strategy, schedule, seed) cell and extracts a
   :class:`~repro.chaos.oracle.RunObservation`;
 * :mod:`repro.chaos.campaign` — the campaign runner sweeping
   (app x strategy x schedule x seeds), joining each observed severity
@@ -33,7 +34,7 @@ from repro.chaos.campaign import (
     demonstrated_anomalies,
     render_audit,
 )
-from repro.chaos.harnesses import AppHarness, HARNESSES, harness_for
+from repro.chaos.harnesses import AppHarness, audit_apps, harness_for
 from repro.chaos.oracle import (
     ObservedLabel,
     OracleVerdict,
@@ -60,13 +61,13 @@ __all__ = [
     "Crash",
     "Duplicate",
     "FaultSchedule",
-    "HARNESSES",
     "Loss",
     "ObservedLabel",
     "OracleVerdict",
     "Partition",
     "Reorder",
     "RunObservation",
+    "audit_apps",
     "audit_campaign",
     "baseline",
     "campaign_is_sound",

@@ -27,16 +27,16 @@ multiprocess backend.
 from __future__ import annotations
 
 import concurrent.futures
+import importlib
 
 from collections.abc import Sequence
 
 from repro.bench import BenchReport, Scenario, assemble_report, run_bench, timed
-from repro.chaos.harnesses import harness_for
+from repro.chaos.harnesses import audit_apps, harness_for
 from repro.chaos.oracle import ObservedLabel, classify_runs
 from repro.chaos.schedule import FaultSchedule
 
 __all__ = [
-    "DEFAULT_APPS",
     "DEFAULT_SEEDS",
     "DEFAULT_SMOKE_SEEDS",
     "audit_campaign",
@@ -46,7 +46,6 @@ __all__ = [
     "render_audit",
 ]
 
-DEFAULT_APPS = ("wordcount", "adnet", "kvs")
 DEFAULT_SEEDS = (7, 11, 13)
 DEFAULT_SMOKE_SEEDS = (7, 11)
 
@@ -57,13 +56,24 @@ def default_schedules(app: str, *, smoke: bool = False) -> tuple[FaultSchedule, 
 
 
 def _cell_metrics(
-    *, app: str, strategy: str, schedule: str, smoke: bool, seeds: list
+    *,
+    app: str,
+    strategy: str,
+    schedule: str,
+    smoke: bool,
+    seeds: list,
+    app_module: str | None = None,
 ) -> dict:
     """Run one campaign cell (app x strategy x schedule, all seeds).
 
     Module-level (rather than a closure) so a process pool can pickle it:
-    cells share no state beyond their parameters.
+    cells share no state beyond their parameters.  ``app_module`` is the
+    module whose import registers the app — a fresh pool worker only
+    auto-imports the built-in catalog, so apps registered elsewhere ship
+    their defining module by name.
     """
+    if app_module is not None:
+        importlib.import_module(app_module)
     harness = harness_for(app, smoke=smoke)
     sched = harness.schedule_named(schedule)
     observations = [harness.observe(strategy, sched, seed) for seed in seeds]
@@ -87,7 +97,7 @@ def _timed_cell(params: dict) -> tuple[dict, float]:
 
 
 def audit_campaign(
-    apps: Sequence[str] = DEFAULT_APPS,
+    apps: Sequence[str] | None = None,
     *,
     smoke: bool = False,
     seeds: Sequence[int] = DEFAULT_SEEDS,
@@ -105,8 +115,11 @@ def audit_campaign(
     severities, the soundness verdict, and the oracle's evidence lines.
     ``jobs > 1`` executes the (independent, deterministic) cells on a
     process pool; results are identical to a serial run, merged back in
-    scenario order.
+    scenario order.  ``apps`` defaults to every registered app carrying an
+    audit profile (:func:`repro.chaos.harnesses.audit_apps`).
     """
+    if apps is None:
+        apps = audit_apps()
     scenarios: list[Scenario] = []
     for app in apps:
         harness = harness_for(app, smoke=smoke)
@@ -123,6 +136,7 @@ def audit_campaign(
                             "schedule": schedule.name,
                             "smoke": smoke,
                             "seeds": list(seeds),
+                            "app_module": harness.app.origin_module,
                         },
                     )
                 )

@@ -1,63 +1,71 @@
-"""Per-app adapters between the campaign runner and the simulators.
+"""The generic adapter between the campaign runner and registered apps.
 
-A harness owns one reference application and knows four things:
+Historically every audit app carried its own hand-written harness class;
+the three wiring paths (spec for predictions, builders for execution,
+harness shims for observation) are now collapsed into the app's single
+:class:`~repro.api.BlazesApp` declaration.  :class:`AppHarness` is the one
+adapter left: it reads the app's :class:`~repro.api.AuditProfile` and
 
-* which **coordination strategies** it can deploy (at least one
-  coordinated and one uncoordinated variant);
-* which **fault schedules** stay inside the app's fault-tolerance
-  envelope (Storm replay heals crash/loss/partition; the ad network has
-  no retransmit layer, so its campaign sticks to faults that perturb
-  *order*, not durability — reorder bursts and duplication; the KVS
-  models all client sessions as TCP-backed, so partitions delay rather
-  than destroy and duplication cannot occur);
-* the **predicted label** per strategy, straight from
-  :func:`repro.core.analysis.analyze` on the matching annotated dataflow;
-* how to **observe** one (strategy, schedule, seed) cell: build the
-  cluster, arm the schedule through the app's ``chaos`` hook, run to
-  quiescence, and extract a :class:`~repro.chaos.oracle.RunObservation`.
+* takes **predictions** from ``app.analyze(strategy)`` — the same label
+  analysis ``blazes analyze`` prints, on the same derived dataflow;
+* **executes** one (strategy, schedule, seed) cell through ``app.run``,
+  arming the fault schedule via the runner's ``chaos`` hook with roles
+  resolved by the profile (``worker`` is a stateful processing replica,
+  ``source`` a producer, ``client`` the request driver, ``splitter`` /
+  ``sink`` / ``cache`` app-specific stages);
+* **observes** the finished run through the profile's extractor, yielding
+  the :class:`~repro.chaos.oracle.RunObservation` the oracle classifies.
 
-Role vocabulary (resolved per app): ``worker`` is a stateful processing
-replica (Count task / reporting replica / store node), ``source`` a
-producer (spout task / ad server), ``client`` the request driver,
-``splitter``/``sink`` the wordcount-specific stages.
+``harness_for(name)`` resolves the app registry, so the campaign sweeps
+whatever is registered — no per-app code lives here anymore.
 """
 
 from __future__ import annotations
 
 from repro.chaos.oracle import RunObservation
-from repro.chaos.schedule import (
-    FaultSchedule,
-    baseline,
-    crash_restart,
-    dup_burst,
-    loss_burst,
-    reorder_burst,
-    split_link,
-)
-from repro.core.analysis import analyze
-from repro.core.labels import Label, max_label
-from repro.errors import SimulationError
+from repro.chaos.schedule import FaultSchedule
+from repro.core.labels import Label
+from repro.errors import ApiError, SimulationError
 from repro.sim.failure import FailureInjector
 
-__all__ = ["AppHarness", "WordcountHarness", "AdNetworkHarness", "KvsHarness", "HARNESSES", "harness_for"]
+__all__ = ["AppHarness", "audit_apps", "harness_for"]
 
 
 class AppHarness:
-    """Interface shared by the per-app adapters."""
+    """Drive one registered app's audit profile."""
 
-    name: str
-    strategies: tuple[str, ...]
-    coordinated: frozenset[str]
-    schedules: tuple[FaultSchedule, ...]
-    horizon: float  # virtual-time scale for normalized schedules
+    def __init__(self, app, *, smoke: bool = False) -> None:
+        if app.audit_spec is None:
+            raise SimulationError(f"app {app.name!r} has no audit profile")
+        self.app = app
+        self.smoke = smoke
+        self.profile = app.audit_spec
+        self.name = app.name
+        self.strategies: tuple[str, ...] = self.profile.strategies
+        self.coordinated = frozenset(
+            name
+            for name in self.profile.strategies
+            if app.strategy_spec(name).coordinated
+        )
+        self.schedules: tuple[FaultSchedule, ...] = tuple(
+            self.profile.schedules(smoke)
+        )
+        self.horizon: float = self.profile.horizon
 
     def predicted(self, strategy: str) -> Label:
-        raise NotImplementedError  # pragma: no cover - interface
+        """The analysis verdict: worst label over the app's sink streams."""
+        return self.app.predicted_label(strategy)
 
     def observe(
         self, strategy: str, schedule: FaultSchedule, seed: int
     ) -> RunObservation:
-        raise NotImplementedError  # pragma: no cover - interface
+        """Run one campaign cell and extract its observation."""
+        params = dict(self.profile.run_params(self.smoke))
+        params["workload_seed"] = self.profile.workload_seed
+        outcome = self.app.run(
+            strategy, seed=seed, chaos=self._armer(schedule), **params
+        )
+        return self.profile.observe(outcome, params)
 
     def schedule_named(self, name: str) -> FaultSchedule:
         for schedule in self.schedules:
@@ -68,288 +76,40 @@ class AppHarness:
             f"have {[s.name for s in self.schedules]}"
         )
 
-    def _armer(self, schedule: FaultSchedule, roles: dict[str, list[str]]):
+    def _armer(self, schedule: FaultSchedule):
         """A ``chaos`` callback applying ``schedule`` scaled to this app."""
-
-        def resolve(role: str, index: int) -> str:
-            try:
-                names = roles[role]
-            except KeyError:
-                raise SimulationError(
-                    f"harness {self.name!r} has no role {role!r}; "
-                    f"have {sorted(roles)}"
-                ) from None
-            return names[index % len(names)]
-
         scaled = schedule.scaled(self.horizon)
 
         def arm(cluster) -> None:
+            roles = self.profile.roles(cluster)
+
+            def resolve(role: str, index: int) -> str:
+                try:
+                    names = roles[role]
+                except KeyError:
+                    raise SimulationError(
+                        f"harness {self.name!r} has no role {role!r}; "
+                        f"have {sorted(roles)}"
+                    ) from None
+                return names[index % len(names)]
+
             scaled.apply(FailureInjector(cluster.network), resolve)
 
         return arm
 
 
-def _sink_label(result) -> Label:
-    return max_label(result.sink_labels.values())
+def audit_apps() -> tuple[str, ...]:
+    """The registered apps the audit campaign sweeps by default."""
+    from repro.api import audit_app_names
 
-
-class WordcountHarness(AppHarness):
-    """The Storm word count: ``sealed`` (Figure 2) vs ``eager`` (unsealed).
-
-    Replay-based fault tolerance is on (``replay_timeout``), so the full
-    chaos menu applies: crashes, loss, duplication, partitions, and
-    reorder bursts are all healed by batch replay — for the sealed
-    topology.  The eager variant runs under the identical engine and
-    faults; its committed store is what betrays the order-sensitivity.
-    """
-
-    name = "wordcount"
-    strategies = ("sealed", "eager")
-    coordinated = frozenset({"sealed"})
-
-    def __init__(self, *, smoke: bool = False) -> None:
-        self.total_batches = 4 if smoke else 6
-        self.batch_size = 10 if smoke else 12
-        self.workers = 2
-        self.workload_seed = 0
-        self.replay_timeout = 0.6
-        self.horizon = 0.03
-        self.schedules = (
-            baseline(),
-            reorder_burst(),
-            dup_burst(),
-            crash_restart("worker", 0),
-            loss_burst(),
-            split_link("splitter", 0, "worker", 0),
-        )
-
-    def predicted(self, strategy: str) -> Label:
-        from repro.apps.wordcount import analyze_wordcount
-
-        sealed = strategy == "sealed"
-        return _sink_label(analyze_wordcount(sealed=sealed, eager=not sealed))
-
-    def observe(
-        self, strategy: str, schedule: FaultSchedule, seed: int
-    ) -> RunObservation:
-        from repro.apps.wordcount import (
-            committed_store,
-            eager_reference_totals,
-            reference_counts,
-            run_wordcount,
-        )
-
-        eager = strategy == "eager"
-
-        def chaos(cluster) -> None:
-            roles = {
-                "source": cluster.task_names("tweets"),
-                "splitter": cluster.task_names("Splitter"),
-                "worker": cluster.task_names("Count"),
-                "sink": cluster.task_names("Commit"),
-            }
-            self._armer(schedule, roles)(cluster)
-
-        _metrics, cluster = run_wordcount(
-            workers=self.workers,
-            total_batches=self.total_batches,
-            batch_size=self.batch_size,
-            seed=seed,
-            workload_seed=self.workload_seed,
-            replay_timeout=self.replay_timeout,
-            eager=eager,
-            chaos=chaos,
-            max_events=2_000_000,
-        )
-        store = committed_store(cluster)
-        if eager:
-            rows = frozenset((word, count) for word, count in store.items())
-            truth_map = eager_reference_totals(
-                self.total_batches, self.batch_size, self.workload_seed
-            )
-            truth = frozenset(truth_map.items())
-        else:
-            rows = frozenset(
-                (word, batch, count) for (word, batch), count in store.items()
-            )
-            truth_map = reference_counts(
-                self.total_batches, self.batch_size, self.workload_seed
-            )
-            truth = frozenset(
-                (word, batch, count) for (word, batch), count in truth_map.items()
-            )
-        # one logical store (sharded, not replicated): replica checks are
-        # vacuous; the oracle's cross-run and ground-truth checks carry it
-        return RunObservation(
-            seed=seed,
-            committed={"store": rows},
-            emitted={"store": rows},
-            truth=truth,
-        )
-
-
-class AdNetworkHarness(AppHarness):
-    """The Bloom ad network: ``uncoordinated`` vs ``seal`` (CAMPAIGN).
-
-    The query threshold is scaled so per-ad click counts *cross* it
-    mid-run — below the crossing the "poor performers" predicate is
-    effectively monotone and even uncoordinated replicas agree (the
-    THRESH argument).  No retransmit layer exists here, so schedules are
-    order-perturbing only.
-    """
-
-    name = "adnet"
-    strategies = ("uncoordinated", "seal")
-    coordinated = frozenset({"seal"})
-
-    def __init__(self, *, smoke: bool = False) -> None:
-        from repro.apps.ad_network import AdWorkload
-
-        self.workload = AdWorkload(
-            ad_servers=2,
-            entries_per_server=60 if smoke else 80,
-            batch_size=20,
-            sleep=0.1,
-            campaigns=8,
-            requests=4 if smoke else 6,
-            report_replicas=2,
-        )
-        clicks_per_ad = self.workload.total_entries / (
-            self.workload.campaigns * self.workload.ads_per_campaign
-        )
-        self.threshold = max(2, int(clicks_per_ad * 0.75))
-        self.workload_seed = 7
-        self.horizon = 0.4
-        self.schedules = (baseline(), reorder_burst(), dup_burst())
-
-    def predicted(self, strategy: str) -> Label:
-        from repro.apps.ad_network import ad_network_dataflow
-
-        seal = ["campaign"] if strategy == "seal" else None
-        return _sink_label(analyze(ad_network_dataflow("CAMPAIGN", seal=seal)))
-
-    def observe(
-        self, strategy: str, schedule: FaultSchedule, seed: int
-    ) -> RunObservation:
-        from repro.apps.ad_network import run_ad_network
-
-        def chaos(cluster) -> None:
-            roles = {
-                "worker": [f"report{i}" for i in range(self.workload.report_replicas)],
-                "source": [f"adserver{i}" for i in range(self.workload.ad_servers)],
-                "client": ["analyst"],
-            }
-            self._armer(schedule, roles)(cluster)
-
-        result = run_ad_network(
-            strategy,
-            workload=self.workload,
-            seed=seed,
-            workload_seed=self.workload_seed,
-            query_kwargs={"threshold": self.threshold},
-            chaos=chaos,
-        )
-        committed = {
-            node: result.committed_state(node) for node in result.report_nodes
-        }
-        emitted = {node: result.responses(node) for node in result.report_nodes}
-        return RunObservation(
-            seed=seed,
-            committed=committed,
-            emitted=emitted,
-            truth=result.ground_truth_state(),
-        )
-
-
-class KvsHarness(AppHarness):
-    """The Section III-B KVS: ``uncoordinated`` vs per-key ``sealed``.
-
-    Replica ``i`` is the ``store{i}``/``cache{i}`` pair: its committed
-    state is what the cache pinned, its emitted history the store's GET
-    responses.  Every client session rides reliable (TCP-like) channels
-    — partitions delay traffic rather than destroying or duplicating it
-    — so all divergence here is *order*-driven: a ``split-link`` window
-    piles up one store's operations and releases them in a burst, which
-    the sealed deployment absorbs and the uncoordinated one does not.
-    (No ``dup-burst`` schedule: the network exempts reliable kinds from
-    duplication, so the cell would silently reduce to baseline.)
-    """
-
-    name = "kvs"
-    strategies = ("uncoordinated", "sealed")
-    coordinated = frozenset({"sealed"})
-
-    def __init__(self, *, smoke: bool = False) -> None:
-        from repro.apps.kvs import KvsWorkload
-
-        self.workload = KvsWorkload(
-            keys=4 if smoke else 6,
-            writes_per_key=5 if smoke else 6,
-            gets=10 if smoke else 16,
-        )
-        self.workload_seed = 7
-        self.horizon = 0.12
-        self.schedules = (
-            baseline(),
-            reorder_burst(),
-            split_link("client", 0, "worker", 0),
-        )
-
-    def predicted(self, strategy: str) -> Label:
-        from repro.apps.kvs import kvs_dataflow
-
-        sealed = strategy == "sealed"
-        return _sink_label(analyze(kvs_dataflow(seal_puts_on_key=sealed)))
-
-    def observe(
-        self, strategy: str, schedule: FaultSchedule, seed: int
-    ) -> RunObservation:
-        from repro.apps.kvs import CLIENT, run_kvs
-
-        def chaos(cluster) -> None:
-            roles = {
-                "worker": [f"store{i}" for i in range(self.workload.store_replicas)],
-                "cache": [f"cache{i}" for i in range(self.workload.store_replicas)],
-                "client": [CLIENT],
-            }
-            self._armer(schedule, roles)(cluster)
-
-        result = run_kvs(
-            strategy,
-            workload=self.workload,
-            seed=seed,
-            workload_seed=self.workload_seed,
-            chaos=chaos,
-        )
-        committed = {
-            f"replica{i}": result.cache_entries(cache)
-            for i, cache in enumerate(result.cache_nodes)
-        }
-        emitted = {
-            f"replica{i}": result.responses(store)
-            for i, store in enumerate(result.store_nodes)
-        }
-        return RunObservation(
-            seed=seed,
-            committed=committed,
-            emitted=emitted,
-            truth=result.ground_truth_cache(),
-        )
-
-
-HARNESSES: dict[str, type[AppHarness]] = {
-    "wordcount": WordcountHarness,
-    "adnet": AdNetworkHarness,
-    "kvs": KvsHarness,
-}
+    return audit_app_names()
 
 
 def harness_for(app: str, *, smoke: bool = False) -> AppHarness:
-    """Instantiate the harness for one app name."""
+    """Build the audit harness for one registered app name."""
+    from repro.api import get_app
+
     try:
-        factory = HARNESSES[app]
-    except KeyError:
-        raise SimulationError(
-            f"unknown audit app {app!r}; have {sorted(HARNESSES)}"
-        ) from None
-    return factory(smoke=smoke)
+        return AppHarness(get_app(app), smoke=smoke)
+    except ApiError as exc:
+        raise SimulationError(str(exc)) from None

@@ -1,29 +1,49 @@
 """The ``blazes`` command-line interface.
 
-Subcommands:
+Every subcommand resolves applications through the :mod:`repro.api`
+registry — the same catalog the benchmarks and the audit campaign use:
 
-``blazes analyze SPEC [--derivations]``
-    Parse a grey-box spec file, run the label analysis, print the report.
-``blazes plan SPEC``
+``blazes apps [--json]``
+    List the registered applications, backends, and strategies.
+``blazes analyze TARGET [--strategy S] [--derivations] [--json]``
+    Run the label analysis on a registered app (or a YAML spec file,
+    the legacy grey-box path) and print the report.
+``blazes plan TARGET [--strategy S] [--json]``
     Print only the synthesized coordination plan.
-``blazes wordcount [--workers N] [--transactional] ...``
-    Execute the Storm word-count topology on the simulator.
-``blazes adreport [--strategy S] [--servers N] ...``
-    Execute the ad-tracking network under one coordination regime.
+``blazes lint TARGET [--strategy S]``
+    Check the Section X design patterns.
+``blazes run APP [--strategy S] [--seed N] [--smoke] [--json] [--set k=v]``
+    Execute a registered app on its simulator backend under one
+    coordination strategy.
 ``blazes audit [--smoke] [--jobs N] [--apps LIST] ...``
     Run the fault-injection audit campaign: every (app, strategy, fault
     schedule) cell is executed for several seeds and the observed anomaly
     is checked against the label the analysis predicted.  ``--jobs N``
     fans the independent cells out over a process pool.
+
+``--json`` prints the machine-readable report
+(:func:`repro.core.report.report_to_dict`), so CI and the audit can diff
+predictions without scraping text.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
+import re
 import sys
+from typing import Any
 
 from repro import __version__
-from repro.core import analyze, choose_strategies, load_spec, render_report
+from repro.core import (
+    analyze,
+    choose_strategies,
+    load_spec,
+    plan_to_dict,
+    render_report,
+    report_to_dict,
+)
 from repro.core.derivation import render_all
 from repro.errors import BlazesError
 
@@ -38,36 +58,55 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=__version__)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    analyze_cmd = sub.add_parser("analyze", help="analyze a spec file")
-    analyze_cmd.add_argument("spec", help="path to a Blazes YAML spec")
+    apps_cmd = sub.add_parser("apps", help="list the registered applications")
+    apps_cmd.add_argument("--json", action="store_true", help="JSON output")
+
+    target_help = "a registered app name or a path to a Blazes YAML spec"
+    analyze_cmd = sub.add_parser("analyze", help="analyze an app or spec file")
+    analyze_cmd.add_argument("target", help=target_help)
+    analyze_cmd.add_argument(
+        "--strategy", default=None, help="strategy variant (registered apps)"
+    )
     analyze_cmd.add_argument(
         "--derivations", action="store_true", help="include derivation trees"
     )
+    analyze_cmd.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
 
     plan_cmd = sub.add_parser("plan", help="print the coordination plan")
-    plan_cmd.add_argument("spec", help="path to a Blazes YAML spec")
+    plan_cmd.add_argument("target", help=target_help)
+    plan_cmd.add_argument("--strategy", default=None)
+    plan_cmd.add_argument(
+        "--json", action="store_true", help="machine-readable plan"
+    )
 
     lint_cmd = sub.add_parser(
         "lint", help="check the Section X design patterns"
     )
-    lint_cmd.add_argument("spec", help="path to a Blazes YAML spec")
+    lint_cmd.add_argument("target", help=target_help)
+    lint_cmd.add_argument("--strategy", default=None)
 
-    wc_cmd = sub.add_parser("wordcount", help="run the Storm word count")
-    wc_cmd.add_argument("--workers", type=int, default=5)
-    wc_cmd.add_argument("--batches", type=int, default=20)
-    wc_cmd.add_argument("--batch-size", type=int, default=50)
-    wc_cmd.add_argument("--transactional", action="store_true")
-    wc_cmd.add_argument("--seed", type=int, default=0)
-
-    ad_cmd = sub.add_parser("adreport", help="run the ad-tracking network")
-    ad_cmd.add_argument(
-        "--strategy",
-        default="seal",
-        choices=["uncoordinated", "ordered", "seal", "independent-seal"],
+    run_cmd = sub.add_parser("run", help="execute a registered app")
+    run_cmd.add_argument("app", help="a registered app name (see `blazes apps`)")
+    run_cmd.add_argument(
+        "--strategy", default=None, help="deployment strategy (app default otherwise)"
     )
-    ad_cmd.add_argument("--servers", type=int, default=5)
-    ad_cmd.add_argument("--entries", type=int, default=500)
-    ad_cmd.add_argument("--seed", type=int, default=0)
+    run_cmd.add_argument("--seed", type=int, default=0)
+    run_cmd.add_argument(
+        "--smoke", action="store_true", help="CI-sized workload defaults"
+    )
+    run_cmd.add_argument(
+        "--json", action="store_true", help="print the outcome as JSON"
+    )
+    run_cmd.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="extra runner keyword (JSON value, e.g. --set workers=8)",
+    )
 
     audit_cmd = sub.add_parser(
         "audit", help="fault-injection audit of the label analysis"
@@ -77,8 +116,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     audit_cmd.add_argument(
         "--apps",
-        default="wordcount,adnet,kvs",
-        help="comma-separated subset of wordcount,adnet,kvs",
+        default=None,
+        help="comma-separated subset of the registered audit apps",
     )
     audit_cmd.add_argument(
         "--seeds", type=int, nargs="+", default=None,
@@ -101,16 +140,16 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if args.command == "apps":
+            return _cmd_apps(args)
         if args.command == "analyze":
             return _cmd_analyze(args)
         if args.command == "plan":
             return _cmd_plan(args)
         if args.command == "lint":
             return _cmd_lint(args)
-        if args.command == "wordcount":
-            return _cmd_wordcount(args)
-        if args.command == "adreport":
-            return _cmd_adreport(args)
+        if args.command == "run":
+            return _cmd_run(args)
         if args.command == "audit":
             return _cmd_audit(args)
     except BlazesError as exc:
@@ -119,29 +158,84 @@ def main(argv: list[str] | None = None) -> int:
     raise AssertionError("unreachable")
 
 
+def _resolve_analysis(target: str, strategy: str | None):
+    """An analysis for a registered app name or a YAML spec path."""
+    from repro.api import app_names, get_app
+
+    if target in app_names():
+        return get_app(target).analyze(strategy)
+    if strategy is not None:
+        raise BlazesError(
+            f"--strategy applies to registered apps only; {target!r} is not "
+            f"one of {list(app_names())}"
+        )
+    if not os.path.exists(target):
+        raise BlazesError(
+            f"{target!r} is neither a registered app ({list(app_names())}) "
+            f"nor a spec file"
+        )
+    dataflow, fds = load_spec(target)
+    return analyze(dataflow, fds)
+
+
+def _cmd_apps(args) -> int:
+    from repro.api import iter_apps
+
+    apps = iter_apps()
+    if args.json:
+        print(json.dumps(
+            [
+                {
+                    "name": app.name,
+                    "backend": app.backend,
+                    "description": app.description,
+                    "strategies": list(app.strategies),
+                    "default_strategy": app.default_strategy,
+                    "auditable": app.auditable,
+                }
+                for app in apps
+            ],
+            indent=2,
+        ))
+        return 0
+    width = max(len(app.name) for app in apps)
+    for app in apps:
+        strategies = ", ".join(
+            f"{name}*" if name == app.default_strategy else name
+            for name in app.strategies
+        )
+        print(f"{app.name:<{width}}  [{app.backend}]  {app.description}")
+        print(f"{'':<{width}}  strategies: {strategies}")
+    return 0
+
+
 def _cmd_analyze(args) -> int:
-    dataflow, fds = load_spec(args.spec)
-    result = analyze(dataflow, fds)
-    print(render_report(result, derivations=False))
-    if args.derivations:
-        print()
-        print(render_all(result))
+    result = _resolve_analysis(args.target, args.strategy)
+    if args.json:
+        payload = report_to_dict(result, derivations=args.derivations)
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_report(result, derivations=False))
+        if args.derivations:
+            print()
+            print(render_all(result))
     return 0 if result.is_consistent else 2
 
 
 def _cmd_plan(args) -> int:
-    dataflow, fds = load_spec(args.spec)
-    result = analyze(dataflow, fds)
+    result = _resolve_analysis(args.target, args.strategy)
     plan = choose_strategies(result)
-    print(plan.describe())
+    if args.json:
+        print(json.dumps(plan_to_dict(plan), indent=2))
+    else:
+        print(plan.describe())
     return 0
 
 
 def _cmd_lint(args) -> int:
     from repro.core.patterns import lint_dataflow
 
-    dataflow, fds = load_spec(args.spec)
-    result = analyze(dataflow, fds)
+    result = _resolve_analysis(args.target, args.strategy)
     findings = lint_dataflow(result)
     if not findings:
         print("no design-pattern findings")
@@ -151,40 +245,61 @@ def _cmd_lint(args) -> int:
     return 3
 
 
-def _cmd_wordcount(args) -> int:
-    from repro.apps.wordcount import run_wordcount
+_RESERVED_RUN_KEYS = {
+    "seed": "--seed",
+    "smoke": "--smoke",
+    "strategy": "--strategy",
+}
 
-    metrics, _cluster = run_wordcount(
-        workers=args.workers,
-        total_batches=args.batches,
-        batch_size=args.batch_size,
-        transactional=args.transactional,
-        seed=args.seed,
+
+def _parse_overrides(pairs: list[str]) -> dict[str, Any]:
+    overrides: dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise BlazesError(f"--set expects KEY=VALUE, got {pair!r}")
+        key, text = pair.split("=", 1)
+        if key in _RESERVED_RUN_KEYS:
+            raise BlazesError(
+                f"--set {key}=... collides with the dedicated "
+                f"{_RESERVED_RUN_KEYS[key]} flag; use that instead"
+            )
+        try:
+            overrides[key] = json.loads(text)
+        except json.JSONDecodeError:
+            overrides[key] = text
+    return overrides
+
+
+def _cmd_run(args) -> int:
+    from repro.api import get_app
+
+    app = get_app(args.app)
+    overrides = _parse_overrides(args.overrides)
+    try:
+        outcome = app.run(
+            args.strategy, seed=args.seed, smoke=args.smoke, **overrides
+        )
+    except TypeError as exc:
+        # an unknown --set key surfaces as an unexpected-keyword TypeError
+        # deep in the runner; translate it into the CLI's clean error shape
+        # only when the rejected keyword really came from a --set flag
+        match = re.search(r"unexpected keyword argument '(\w+)'", str(exc))
+        if match and match.group(1) in overrides:
+            raise BlazesError(f"bad --set override: {exc}") from exc
+        raise
+    if args.json:
+        print(json.dumps(outcome.to_dict(), indent=2))
+        return 0
+    print(
+        f"app={outcome.app} backend={outcome.backend} "
+        f"strategy={outcome.strategy} seed={outcome.seed}"
     )
-    mode = "transactional" if args.transactional else "sealed"
-    print(f"mode={mode} workers={args.workers}")
-    print(f"batches acked : {metrics.batches_acked}")
-    print(f"duration      : {metrics.duration:.3f} s (simulated)")
-    print(f"throughput    : {metrics.throughput:,.0f} tuples/s")
-    print(f"batch latency : {metrics.mean_batch_latency * 1000:.2f} ms (mean)")
-    return 0
-
-
-def _cmd_adreport(args) -> int:
-    from repro.apps.ad_network import AdWorkload, run_ad_network
-
-    workload = AdWorkload(
-        ad_servers=args.servers, entries_per_server=args.entries
-    )
-    result = run_ad_network(args.strategy, workload=workload, seed=args.seed)
-    print(f"strategy={args.strategy} servers={args.servers}")
-    print(f"records processed : {result.processed_count()}")
-    print(f"completion time   : {result.completion_time:.2f} s (simulated)")
-    print(f"replicas agree    : {result.replicas_agree}")
-    series = result.processed_series(bucket=max(0.5, result.completion_time / 20))
-    for time, count in series:
-        bar = "#" * int(60 * count / max(1, result.workload.total_entries))
-        print(f"  t={time:8.2f}s {count:6d} {bar}")
+    width = max((len(name) for name in outcome.metrics), default=0)
+    for name, value in outcome.metrics.items():
+        if isinstance(value, float):
+            print(f"  {name:<{width}} : {value:,.4f}")
+        else:
+            print(f"  {name:<{width}} : {value}")
     return 0
 
 
@@ -193,7 +308,9 @@ def _cmd_audit(args) -> int:
     from repro.chaos import audit_campaign, campaign_is_sound, render_audit
     from repro.chaos.campaign import DEFAULT_SEEDS, DEFAULT_SMOKE_SEEDS
 
-    apps = tuple(name for name in args.apps.split(",") if name)
+    apps = None
+    if args.apps:
+        apps = tuple(name for name in args.apps.split(",") if name)
     if args.seeds:
         seeds = tuple(args.seeds)
     else:

@@ -21,6 +21,7 @@ from repro.core.annotations import (
     PathAnnotation,
     parse_annotation,
 )
+from repro.core.compare import dataflow_isomorphic, isomorphism_mismatch
 from repro.core.derivation import render_all, render_chain, render_output
 from repro.core.fd import FD, FDSet, compatible
 from repro.core.graph import Component, Dataflow, Path, Stream
@@ -40,7 +41,7 @@ from repro.core.labels import (
 )
 from repro.core.patterns import Finding, lint_dataflow
 from repro.core.reconciliation import ReconciliationResult, is_protected, reconcile
-from repro.core.report import render_report
+from repro.core.report import plan_to_dict, render_report, report_to_dict
 from repro.core.spec import build_dataflow, dump_spec, load_spec, loads_spec
 from repro.core.strategy import (
     CoordinationPlan,
@@ -72,6 +73,8 @@ __all__ = [
     "Dataflow",
     "Path",
     "Stream",
+    "dataflow_isomorphic",
+    "isomorphism_mismatch",
     "DerivationStep",
     "derive_path",
     "Async",
@@ -90,7 +93,9 @@ __all__ = [
     "ReconciliationResult",
     "is_protected",
     "reconcile",
+    "plan_to_dict",
     "render_report",
+    "report_to_dict",
     "build_dataflow",
     "dump_spec",
     "load_spec",

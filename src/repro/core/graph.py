@@ -179,6 +179,20 @@ class Dataflow:
             raise DataflowError(f"duplicate stream {name!r}")
         if src is None and dst is None:
             raise DataflowError(f"stream {name!r} must touch at least one component")
+        if seal is not None and label is not None:
+            # a seal *is* the stream's label (Seal[key]); carrying both is
+            # contradictory, and the spec format cannot express it
+            raise DataflowError(
+                f"stream {name!r}: give either a label override or a seal"
+            )
+        if label is not None and (label.is_internal or label.key is not None):
+            # internal kinds never appear on streams and keyed kinds are
+            # expressed through `seal`; allowing them here would build
+            # dataflows the spec format cannot round-trip
+            raise DataflowError(
+                f"stream {name!r}: {label.kind.value} is not a valid stream "
+                f"label override"
+            )
         seal_key = None
         if seal is not None:
             seal_key = frozenset(seal)
@@ -242,6 +256,50 @@ class Dataflow:
     def external_outputs(self) -> tuple[Stream, ...]:
         """Streams that leave the dataflow (sinks)."""
         return tuple(s for s in self._streams.values() if s.is_external_output)
+
+    # ------------------------------------------------------------------
+    # structural identity
+    # ------------------------------------------------------------------
+    def signature(self) -> tuple:
+        """A canonical, hashable rendering of the graph's structure.
+
+        Two dataflows with equal signatures declare the same components
+        (name, replication, annotated paths in order) and the same named
+        streams (endpoints, seal keys, replication, label overrides) —
+        the identity ``dump_spec``/``loads_spec`` round-trips preserve.
+        """
+        components = tuple(
+            (
+                component.name,
+                component.rep,
+                tuple(
+                    (path.from_iface, path.to_iface, str(path.annotation))
+                    for path in component.paths
+                ),
+            )
+            for component in self.components
+        )
+        streams = tuple(
+            (
+                stream.name,
+                stream.src,
+                stream.dst,
+                tuple(sorted(stream.seal_key)) if stream.seal_key else None,
+                stream.rep,
+                str(stream.label) if stream.label is not None else None,
+            )
+            for stream in self.streams
+        )
+        return (self.name, components, streams)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Dataflow):
+            return NotImplemented
+        return self.signature() == other.signature()
+
+    # structural __eq__ with identity hash: Dataflow is mutable, so it
+    # must not be used as a key across equal-but-distinct instances
+    __hash__ = object.__hash__
 
     # ------------------------------------------------------------------
     # validation

@@ -38,9 +38,18 @@ import yaml
 from repro.core.annotations import parse_annotation
 from repro.core.fd import FDSet
 from repro.core.graph import Dataflow
+from repro.core.labels import Label, LabelKind
 from repro.errors import SpecError
 
-__all__ = ["load_spec", "loads_spec", "dump_spec", "build_dataflow"]
+# External input streams may override their default Async label with one
+# of the reportable kinds; Seal is expressed through the `seal:` key and
+# the internal kinds (NDRead/Taint) never appear on streams.
+_STREAM_LABELS = {
+    kind.value: kind
+    for kind in (LabelKind.ASYNC, LabelKind.RUN, LabelKind.INST, LabelKind.DIVERGE)
+}
+
+__all__ = ["load_spec", "loads_spec", "dump_spec", "build_dataflow", "parse_endpoint"]
 
 
 def loads_spec(text: str) -> tuple[Dataflow, FDSet]:
@@ -115,7 +124,13 @@ def _build_component(dataflow: Dataflow, name: str, body: dict[str, Any]) -> Non
         component.add_path(from_iface, to_iface, annotation)
 
 
-def _endpoint(value: Any, stream_name: str, side: str) -> tuple[str, str] | None:
+def parse_endpoint(value: Any, stream_name: str, side: str) -> tuple[str, str] | None:
+    """Parse one stream endpoint: ``"Component.interface"`` or a 2-list.
+
+    The single shared parsing rule for spec files and the programmatic
+    API (:mod:`repro.api`); the 2-element form disambiguates component
+    names that themselves contain dots (see :func:`_dump_endpoint`).
+    """
     if value is None:
         return None
     if isinstance(value, str):
@@ -138,13 +153,31 @@ def _build_stream(dataflow: Dataflow, entry: Any) -> None:
         name = str(entry["name"])
     except KeyError as exc:
         raise SpecError("stream entries require a 'name'") from exc
-    src = _endpoint(entry.get("from"), name, "from")
-    dst = _endpoint(entry.get("to"), name, "to")
+    src = parse_endpoint(entry.get("from"), name, "from")
+    dst = parse_endpoint(entry.get("to"), name, "to")
     seal = entry.get("seal")
     if seal is not None and not isinstance(seal, list):
         raise SpecError(f"stream {name!r}: 'seal' must be a list of attributes")
     rep = bool(entry.get("rep", entry.get("Rep", False)))
-    dataflow.add_stream(name, src=src, dst=dst, seal=seal, rep=rep)
+    label = _stream_label(entry.get("label"), name, seal)
+    dataflow.add_stream(name, src=src, dst=dst, seal=seal, rep=rep, label=label)
+
+
+def _stream_label(value: Any, stream_name: str, seal: Any) -> Label | None:
+    if value is None:
+        return None
+    if seal is not None:
+        raise SpecError(
+            f"stream {stream_name!r}: give either a label override or a seal"
+        )
+    try:
+        kind = _STREAM_LABELS[str(value)]
+    except KeyError:
+        raise SpecError(
+            f"stream {stream_name!r}: unknown label {value!r}; "
+            f"have {sorted(_STREAM_LABELS)}"
+        ) from None
+    return Label(kind)
 
 
 def _build_fd(fds: FDSet, entry: Any) -> None:
@@ -159,6 +192,20 @@ def _build_fd(fds: FDSet, entry: Any) -> None:
         raise SpecError("fd 'determines' and 'by' must be attribute lists")
     injective = bool(entry.get("injective", True))
     fds.add([str(a) for a in lhs], [str(a) for a in rhs], injective=injective)
+
+
+def _dump_endpoint(endpoint: tuple[str, str]) -> Any:
+    """Spec syntax for one endpoint.
+
+    The compact ``Component.interface`` string is ambiguous when the
+    component name itself contains a dot (the parser splits on the first
+    one), so such endpoints fall back to the explicit two-element form the
+    parser also accepts.
+    """
+    component, iface = endpoint
+    if "." in component:
+        return [component, iface]
+    return f"{component}.{iface}"
 
 
 def dump_spec(dataflow: Dataflow, fds: FDSet | None = None) -> str:
@@ -183,15 +230,17 @@ def dump_spec(dataflow: Dataflow, fds: FDSet | None = None) -> str:
 
     streams = []
     for stream in dataflow.streams:
-        item = {"name": stream.name}
+        item: dict[str, Any] = {"name": stream.name}
         if stream.src is not None:
-            item["from"] = f"{stream.src[0]}.{stream.src[1]}"
+            item["from"] = _dump_endpoint(stream.src)
         if stream.dst is not None:
-            item["to"] = f"{stream.dst[0]}.{stream.dst[1]}"
+            item["to"] = _dump_endpoint(stream.dst)
         if stream.seal_key:
             item["seal"] = sorted(stream.seal_key)
         if stream.rep:
             item["rep"] = True
+        if stream.label is not None:
+            item["label"] = stream.label.kind.value
         streams.append(item)
 
     document: dict[str, Any] = {

@@ -50,3 +50,8 @@ class StormError(BlazesError):
 
 class BenchError(BlazesError):
     """A benchmark scenario or report was queried or produced incorrectly."""
+
+
+class ApiError(BlazesError):
+    """The programmatic application API was misused (unknown app or
+    strategy, malformed declaration, annotation cross-check failure)."""

@@ -50,7 +50,9 @@ class Bolt:
 
     ``blazes_annotations`` is a list of path-annotation mappings in spec
     syntax, e.g. ``{"from": "words", "to": "counts", "label": "OW",
-    "subscript": ["word", "batch"]}``.
+    "subscript": ["word", "batch"]}`` — typically declared with the
+    :func:`repro.api.annotate` class decorator rather than written by
+    hand.
     """
 
     output_fields: Fields = Fields()

@@ -1,0 +1,103 @@
+"""The ``@annotate`` decorator and the white-box cross-check."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import annotate, crosscheck_module, declared_annotations
+from repro.apps.kvs import LwwKvs, SnapshotCache
+from repro.bloom.module import BloomModule
+from repro.errors import AnnotationError, ApiError
+from repro.storm.topology import Bolt
+
+
+def test_annotations_read_top_down():
+    @annotate(frm="a", to="b", label="CR")
+    @annotate(frm="b", to="c", label="OW", subscript=["k"])
+    class Component:
+        pass
+
+    assert declared_annotations(Component) == [
+        {"from": "a", "to": "b", "label": "CR"},
+        {"from": "b", "to": "c", "label": "OW", "subscript": ["k"]},
+    ]
+
+
+def test_decorating_a_bolt_does_not_mutate_the_base_class():
+    @annotate(frm="x", to="y", label="CW")
+    class MyBolt(Bolt):
+        pass
+
+    assert Bolt.blazes_annotations == []
+    assert len(MyBolt.blazes_annotations) == 1
+
+
+def test_subclass_annotations_do_not_leak_into_the_parent():
+    @annotate(frm="x", to="y", label="CR")
+    class Parent:
+        pass
+
+    @annotate(frm="y", to="z", label="CR")
+    class Child(Parent):
+        pass
+
+    assert len(declared_annotations(Parent)) == 1
+    assert [a["from"] for a in declared_annotations(Child)] == ["y"]
+
+
+def test_duplicate_path_is_rejected():
+    with pytest.raises(ApiError, match="duplicate @annotate"):
+
+        @annotate(frm="a", to="b", label="CR")
+        @annotate(frm="a", to="b", label="CW")
+        class Component:  # pragma: no cover - never constructed
+            pass
+
+
+def test_bad_label_fails_at_class_definition_time():
+    with pytest.raises(AnnotationError):
+
+        @annotate(frm="a", to="b", label="XX")
+        class Component:  # pragma: no cover - never constructed
+            pass
+
+    with pytest.raises(AnnotationError):
+
+        @annotate(frm="a", to="b", label="CR", subscript=["k"])
+        class Confluent:  # pragma: no cover - never constructed
+            pass
+
+
+def test_crosscheck_passes_for_the_shipped_modules():
+    crosscheck_module(LwwKvs())
+    crosscheck_module(SnapshotCache())
+
+
+def test_crosscheck_flags_a_wrong_claim():
+    @annotate(frm="response", to="cached", label="OW", subscript=["reqid"])
+    class MisannotatedCache(BloomModule):
+        def setup(self) -> None:
+            self.input_interface("response", ["reqid", "key", "val"])
+            self.output_interface("cached", ["reqid", "key", "val"])
+            self.table("entries", ["reqid", "key", "val"])
+
+        def rules(self):
+            return [
+                self.rule("entries", "<=", self.scan("response")),
+                self.rule("cached", "<=", self.scan("entries")),
+            ]
+
+    with pytest.raises(ApiError, match="disagree with the white-box"):
+        crosscheck_module(MisannotatedCache())
+
+
+def test_crosscheck_is_vacuous_without_declarations():
+    class Silent(BloomModule):
+        def setup(self) -> None:
+            self.input_interface("i", ["x"])
+            self.output_interface("o", ["x"])
+
+        def rules(self):
+            return [self.rule("o", "<=", self.scan("i"))]
+
+    crosscheck_module(Silent())  # no claims, nothing to check

@@ -115,3 +115,10 @@ def test_unknown_schedule_name_is_an_error():
     harness = harness_for("kvs", smoke=True)
     with pytest.raises(SimulationError):
         harness.schedule_named("meteor-strike")
+
+
+def test_cells_carry_the_registering_module_for_pool_workers():
+    """A fresh pool worker only auto-imports the builtin catalog, so each
+    cell records the module whose import registers its app."""
+    report = audit_campaign(("kvs",), smoke=True, seeds=(7,), schedules=("baseline",))
+    assert all(r.params["app_module"] == "repro.apps.kvs" for r in report)

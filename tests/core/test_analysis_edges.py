@@ -66,10 +66,17 @@ def test_external_label_override():
 
 
 def test_label_override_with_seal_rejected():
+    from repro.errors import DataflowError
+
     flow = Dataflow("conflict")
     comp = flow.add_component("C")
     comp.add_path("in", "out", OW("k"))
-    flow.add_stream("in", dst=("C", "in"), seal=["k"], label=Run())
+    # now rejected at construction time (keeps every dataflow dumpable)...
+    with pytest.raises(DataflowError):
+        flow.add_stream("in", dst=("C", "in"), seal=["k"], label=Run())
+    # ...and the analyzer still rejects a hand-assembled conflicting stream
+    flow.add_stream("in", dst=("C", "in"), seal=["k"])
+    flow.stream("in").label = Run()
     flow.add_stream("out", src=("C", "out"))
     with pytest.raises(AnalysisError):
         analyze(flow)

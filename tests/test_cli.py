@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -88,23 +90,104 @@ streams:
     assert "replicated-nonconfluent" in capsys.readouterr().out
 
 
-def test_wordcount_subcommand(capsys):
-    assert main([
-        "wordcount", "--workers", "2", "--batches", "3", "--batch-size", "10",
-    ]) == 0
+def test_apps_subcommand_lists_registry(capsys):
+    assert main(["apps"]) == 0
     out = capsys.readouterr().out
-    assert "batches acked : 3" in out
-    assert "throughput" in out
+    for name in ("wordcount", "adnet", "kvs"):
+        assert name in out
+    assert "sealed*" in out  # default strategy marker
 
 
-def test_adreport_subcommand(capsys):
+def test_apps_subcommand_json(capsys):
+    assert main(["apps", "--json"]) == 0
+    catalog = json.loads(capsys.readouterr().out)
+    by_name = {entry["name"]: entry for entry in catalog}
+    assert by_name["wordcount"]["backend"] == "storm"
+    assert "eager" in by_name["wordcount"]["strategies"]
+    assert by_name["kvs"]["auditable"] is True
+
+
+def test_analyze_registered_app(capsys):
+    assert main(["analyze", "wordcount"]) == 0
+    out = capsys.readouterr().out
+    assert "consistent without coordination" in out
+    assert main(["analyze", "wordcount", "--strategy", "eager"]) == 2
+
+
+def test_analyze_json_report(capsys):
+    assert main(["analyze", "kvs", "--strategy", "uncoordinated", "--json"]) == 2
+    report = json.loads(capsys.readouterr().out)
+    assert report["consistent"] is False
+    assert report["sinks"]["cached"] == "Diverge"
+    assert "Store" in report["components_needing_coordination"]
+
+
+def test_plan_json_report(capsys):
+    assert main(["plan", "kvs", "--strategy", "sealed", "--json"]) == 0
+    plan = json.loads(capsys.readouterr().out)
+    assert plan["uses_global_order"] is False
+    seal = next(s for s in plan["strategies"] if s["component"] == "Store")
+    assert seal["kind"] == "seal"
+    assert seal["partitions"] == [{"stream": "puts", "key": ["key"]}]
+
+
+def test_strategy_flag_rejected_for_spec_paths(spec_file, capsys):
+    assert main(["analyze", spec_file(sealed=True), "--strategy", "x"]) == 1
+    assert "registered apps" in capsys.readouterr().err
+
+
+def test_unknown_target_is_a_clean_error(capsys):
+    assert main(["analyze", "no-such-app.yaml"]) == 1
+    assert "neither a registered app" in capsys.readouterr().err
+
+
+def test_run_subcommand(capsys):
     assert main([
-        "adreport", "--strategy", "independent-seal", "--servers", "2",
-        "--entries", "60",
+        "run", "wordcount", "--smoke", "--set", "total_batches=3",
     ]) == 0
     out = capsys.readouterr().out
-    assert "records processed : 120" in out
-    assert "replicas agree    : True" in out
+    assert "app=wordcount" in out and "strategy=sealed" in out
+    assert "batches_acked" in out and ": 3" in out
+
+
+def test_run_subcommand_json(capsys):
+    assert main([
+        "run", "adnet", "--strategy", "independent-seal", "--smoke", "--json",
+    ]) == 0
+    outcome = json.loads(capsys.readouterr().out)
+    assert outcome["app"] == "adnet"
+    assert outcome["metrics"]["processed"] == outcome["metrics"]["total_entries"]
+    assert outcome["metrics"]["replicas_agree"] is True
+
+
+def test_run_unknown_app_is_a_clean_error(capsys):
+    assert main(["run", "nope"]) == 1
+    assert "unknown app" in capsys.readouterr().err
+
+
+def test_run_bad_override_is_a_clean_error(capsys):
+    assert main(["run", "wordcount", "--set", "workers"]) == 1
+    assert "KEY=VALUE" in capsys.readouterr().err
+
+
+def test_run_reserved_override_is_a_clean_error(capsys):
+    for key, flag in (("seed", "--seed"), ("smoke", "--smoke"), ("strategy", "--strategy")):
+        assert main(["run", "wordcount", "--set", f"{key}=1"]) == 1
+        assert flag in capsys.readouterr().err
+
+
+def test_run_unknown_override_key_is_a_clean_error(capsys):
+    assert main(["run", "wordcount", "--smoke", "--set", "bogus=1"]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "bogus" in err
+
+
+def test_analyze_json_includes_derivations_when_asked(capsys):
+    assert main(["analyze", "wordcount", "--json", "--derivations"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert "Count.counts" in report["derivations"]
+    assert main(["analyze", "wordcount", "--json"]) == 0
+    assert "derivations" not in json.loads(capsys.readouterr().out)
 
 
 def test_audit_subcommand(tmp_path, monkeypatch, capsys):
