@@ -1,18 +1,48 @@
-"""Figure 6 + Sections III-D/VI-B: the query coordination-requirements matrix.
+"""Figure 6 + Sections III-D/VI-B/VII: the query coordination matrix.
 
-Regenerates the paper's per-query verdicts: which of the four reporting
-queries are consistent without coordination, which require sealing, and
-which force global ordering.  Prints one row per (query, seal) combination
-with the derived sink label and the synthesized strategy, and benchmarks
-the analyzer itself.
+Two halves, one figure:
+
+* **Analysis matrix** — regenerates the paper's per-query verdicts from
+  the label analysis alone: which of the four reporting queries are
+  consistent without coordination, which a compatible seal discharges,
+  and which force global ordering.
+* **Empirical matrix** — runs every registered query app (``q-thresh`` /
+  ``q-poor`` / ``q-window`` / ``q-campaign``) through the fault audit
+  under {uncoordinated, sealed, ordered} x {baseline, reorder, dup,
+  crash} x seeds, classifies the observations with the order-conditioned
+  oracle, and checks the observed matrix against the paper's claims:
+  THRESH is sound uncoordinated; POOR/WINDOW/CAMPAIGN demonstrably
+  misbehave uncoordinated and are repaired by *both* sealing and the
+  Zookeeper sequencer (the ordered cells judged conditional on each
+  run's recorded sequencer order).
+
+Run it through the ``repro.bench`` harness::
+
+    PYTHONPATH=src python -m benchmarks.bench_fig6_query_matrix [--smoke]
+
+which writes ``BENCH_fig6-matrix[-smoke].json`` (to ``$REPRO_BENCH_DIR``
+or the cwd), or with pytest for the assertions::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_fig6_query_matrix.py -s
 """
 
 from __future__ import annotations
 
-import pytest
+import functools
+import sys
 
 from repro.apps.queries import QUERY_NAMES, make_report_module
+from repro.bench import BenchReport, JsonReporter
 from repro.bloom.analysis import analyze_module, attach_component
+from repro.chaos import (
+    campaign_is_sound,
+    campaign_tightness,
+    matrix_campaign,
+    matrix_is_expected,
+    matrix_summary,
+    render_audit,
+    render_matrix,
+)
 from repro.core import CR, CW, Dataflow, analyze, choose_strategies
 
 CASES = [
@@ -94,3 +124,79 @@ def test_wordcount_derivations(benchmark):
     print(f"  sealed sink label  : {sealed.label_of('Commit->sink')} (paper: Async)")
     assert str(unsealed.label_of("Commit->sink")) == "Run"
     assert str(sealed.label_of("Commit->sink")) == "Async"
+
+
+# ----------------------------------------------------------------------
+# the empirical matrix (fault audit over the registered query apps)
+# ----------------------------------------------------------------------
+def run_matrix_audit(smoke: bool = False) -> BenchReport:
+    """The audit sweep; writes ``BENCH_fig6-matrix[-smoke].json``."""
+    return _run_matrix_audit_cached(smoke)
+
+
+@functools.lru_cache(maxsize=None)
+def _run_matrix_audit_cached(smoke: bool) -> BenchReport:
+    return matrix_campaign(smoke=smoke, reporter=JsonReporter())
+
+
+def test_fig6_matrix_audit_is_sound_and_expected():
+    """The observed matrix reproduces the Figure 6 claims, soundly."""
+    report = run_matrix_audit()
+    print()
+    print(render_matrix(report))
+    assert campaign_is_sound(report), render_audit(report, evidence=True)
+    assert matrix_is_expected(report), render_matrix(report)
+    # the sweep really is the promised grid: 4 queries x 3 strategies x
+    # >= 4 schedules
+    summary = matrix_summary(report)
+    assert {q for q, _ in summary} == set(QUERY_NAMES)
+    assert {s for _, s in summary} == {"uncoordinated", "sealed", "ordered"}
+    assert all(cell["cells"] >= 4 for cell in summary.values())
+
+
+def test_fig6_matrix_per_query_requirements():
+    """THRESH needs nothing; the others need sealing *or* ordering."""
+    summary = matrix_summary(run_matrix_audit())
+    for query in QUERY_NAMES:
+        uncoordinated = summary[(query, "uncoordinated")]
+        assert uncoordinated["consistent"] == (query == "THRESH"), query
+        for strategy in ("sealed", "ordered"):
+            assert summary[(query, strategy)]["consistent"], (query, strategy)
+            assert summary[(query, strategy)]["sound"], (query, strategy)
+
+
+def test_fig6_ordered_cells_judged_on_recorded_order():
+    """Every ordered run records a sequencer order, different per seed,
+    yet no cell reports Run — the order-conditioned comparison at work."""
+    from repro.chaos import harness_for
+    from repro.chaos.campaign import DEFAULT_SEEDS
+
+    report = run_matrix_audit()
+    ordered_cells = report.select(strategy="ordered")
+    assert ordered_cells
+    for cell in ordered_cells:
+        assert cell["observed_severity"] <= 2, (cell.name, cell["evidence"])
+    # the conditioning has substance: re-observe one cell and check the
+    # recorded orders exist and genuinely differ across seeds
+    harness = harness_for("q-campaign")
+    schedule = harness.schedule_named("reorder-burst")
+    runs = [harness.observe("ordered", schedule, seed) for seed in DEFAULT_SEEDS]
+    orders = [obs.order for obs in runs]
+    assert all(orders)
+    assert len(set(orders)) == len(orders)
+
+
+def main(argv: list[str] | None = None) -> None:
+    smoke = "--smoke" in (argv if argv is not None else sys.argv[1:])
+    report = run_matrix_audit(smoke=smoke)
+    print(render_matrix(report))
+    print()
+    print(render_audit(report))
+    tight, total = campaign_tightness(report)
+    print(f"\ntightness {tight}/{total}; wrote {JsonReporter().path_for(report.name)}")
+    if not (campaign_is_sound(report) and matrix_is_expected(report)):
+        raise SystemExit(4)
+
+
+if __name__ == "__main__":
+    main()

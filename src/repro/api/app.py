@@ -48,15 +48,28 @@ class StrategySpec:
     extra keyword arguments merged into every ``app.run`` call under this
     strategy — the declarative encoding of what the strategy changes about
     the deployment.
+
+    ``ordered`` marks a strategy whose runner routes the app's input
+    streams through the coordination service's sequencer (paper Section
+    V-B2).  On the analysis side it changes what the app *predicts*:
+    ``app.plan`` returns the :func:`repro.core.strategy.ordered_plan`
+    (an installed :class:`~repro.core.strategy.OrderedStrategy` per
+    order-sensitive component) and ``app.predicted_label`` caps the raw
+    sink label at ``Async`` via
+    :func:`repro.core.strategy.label_under_ordering` — deterministic
+    given the recorded sequencer order, which the audit's
+    order-conditioned oracle then compares runs against.
     """
 
     name: str
     coordinated: bool = False
+    ordered: bool = False
     seals: Mapping[str, Sequence[str] | None] = dataclasses.field(
         default_factory=dict
     )
     run_params: Mapping[str, Any] = dataclasses.field(default_factory=dict)
     description: str = ""
+    order_topic: str = ""
 
 
 @dataclasses.dataclass(frozen=True)
@@ -259,20 +272,29 @@ class BlazesApp:
         name: str,
         *,
         coordinated: bool = False,
+        ordered: bool = False,
         seals: Mapping[str, Sequence[str] | None] | None = None,
         run_params: Mapping[str, Any] | None = None,
         default: bool = False,
         description: str = "",
+        order_topic: str = "",
     ) -> "BlazesApp":
         """Declare one deployment strategy (see :class:`StrategySpec`)."""
         if name in self._strategies:
             raise ApiError(f"app {self.name!r}: duplicate strategy {name!r}")
+        if ordered and seals:
+            raise ApiError(
+                f"app {self.name!r}: strategy {name!r} cannot both seal and "
+                f"impose ordering"
+            )
         self._strategies[name] = StrategySpec(
             name,
-            coordinated=coordinated,
+            coordinated=coordinated or ordered,
+            ordered=ordered,
             seals=dict(seals or {}),
             run_params=dict(run_params or {}),
             description=description,
+            order_topic=order_topic,
         )
         if default or self._default_strategy is None:
             self._default_strategy = name
@@ -423,14 +445,34 @@ class BlazesApp:
         return analyze(self.dataflow(strategy), self.fds())
 
     def plan(self, strategy: str | None = None):
-        """The coordination plan synthesized from :meth:`analyze`."""
-        from repro.core.strategy import choose_strategies
+        """The coordination plan for one strategy.
 
+        Seal-annotated strategies synthesize their plan with
+        :func:`~repro.core.strategy.choose_strategies`; an ``ordered``
+        strategy *imposes* the sequencer instead, so its plan is the
+        :func:`~repro.core.strategy.ordered_plan` over the analysis.
+        """
+        from repro.core.strategy import choose_strategies, ordered_plan
+
+        spec = self.strategy_spec(strategy)
+        if spec.ordered:
+            return ordered_plan(self.analyze(strategy), topic=spec.order_topic)
         return choose_strategies(self.analyze(strategy))
 
     def predicted_label(self, strategy: str | None = None) -> Label:
-        """The worst sink label the analysis predicts for a strategy."""
-        return max_label(self.analyze(strategy).sink_labels.values())
+        """The worst sink label the analysis predicts for a strategy.
+
+        For an ``ordered`` strategy the raw label is capped at ``Async``
+        (:func:`~repro.core.strategy.label_under_ordering`): the sequencer
+        makes replicas and replays deterministic given its recorded order.
+        """
+        from repro.core.strategy import label_under_ordering
+
+        spec = self.strategy_spec(strategy)
+        label = max_label(self.analyze(strategy).sink_labels.values())
+        if spec.ordered:
+            label = label_under_ordering(label)
+        return label
 
     # ------------------------------------------------------------------
     # execution and audit

@@ -25,7 +25,13 @@ from repro.apps.kvs import (
     kvs_dataflow,
     run_kvs,
 )
-from repro.apps.queries import QUERY_NAMES, make_report_module
+from repro.apps.queries import (
+    QUERY_MATRIX_APPS,
+    QUERY_NAMES,
+    QUERY_SEAL_KEYS,
+    CacheTier,
+    make_report_module,
+)
 from repro.apps.wordcount import (
     CommitBolt,
     CountBolt,
@@ -51,7 +57,10 @@ __all__ = [
     "SnapshotCache",
     "kvs_dataflow",
     "run_kvs",
+    "QUERY_MATRIX_APPS",
     "QUERY_NAMES",
+    "QUERY_SEAL_KEYS",
+    "CacheTier",
     "make_report_module",
     "CommitBolt",
     "CountBolt",

@@ -29,11 +29,13 @@ import dataclasses
 import random
 from collections.abc import Callable, Iterable
 
-from repro.api import BlazesApp, annotate, register
-from repro.apps.queries import make_report_module
-from repro.bloom.cluster import INSERT_MSG, BloomCluster, BloomNode
+from repro.api import BlazesApp, register
+from repro.apps.queries import CLICK_SCHEMA, ORDER_TOPIC, CacheTier, make_report_module
+from repro.bloom.cluster import INSERT_MSG, ZK_KINDS, BloomCluster, BloomNode
 from repro.bloom.rewrite import OrderedInputAdapter, SealedInputAdapter
 from repro.coord.assignment import ReplicaAssignment
+from repro.coord.sealing import DATA as SEAL_DATA
+from repro.coord.sealing import PUNCT as SEAL_PUNCT
 from repro.coord.sealing import SealedStreamProducer
 from repro.coord.zookeeper import ZkClient, install_zookeeper
 from repro.errors import SimulationError
@@ -51,8 +53,14 @@ __all__ = [
 
 STRATEGIES = ("uncoordinated", "ordered", "seal", "independent-seal")
 
-ORDER_TOPIC = "report.inputs"
 CLICK_STREAM = "click"
+
+# Click columns a seal strategy may punctuate on (column index into
+# CLICK_SCHEMA); the paper's Figure 6 pairs WINDOW with ``window`` and
+# CAMPAIGN with ``campaign``, the per-``id`` seal is POOR's boundary case.
+SEAL_COLUMNS = {
+    name: CLICK_SCHEMA.index(name) for name in ("campaign", "window", "id")
+}
 
 
 @dataclasses.dataclass(frozen=True)
@@ -118,20 +126,6 @@ def ad_network_dataflow(query: str, *, seal: list[str] | None = None):
     return flow
 
 
-@annotate(frm="request", to="response", label="CR")
-@annotate(frm="response", to="response", label="CW")
-@annotate(frm="request", to="request", label="CR")
-class CacheTier:
-    """The analyst-facing caching tier of Figure 4, grey-box annotated.
-
-    Requests are forwarded (confluent reads), responses append into the
-    cache and gossip to peers (a confluent write plus the self-edge that
-    forms the paper's footnote-3 cycle).  The tier exists in the logical
-    dataflow only; the simulated deployment answers analysts straight
-    from the reporting replicas.
-    """
-
-
 class AdServer(Process):
     """Generates click-log entries in bursts and dispatches them.
 
@@ -156,14 +150,16 @@ class AdServer(Process):
         seed: int,
         interleave: bool = False,
         assignment: ReplicaAssignment | None = None,
+        seal_column: int = 0,
     ) -> None:
         super().__init__(name)
         self.workload = workload
         self.strategy = strategy
         self.report_nodes = report_nodes
+        self.seal_column = seal_column
         self.zk = ZkClient(self) if strategy == "ordered" else None
         # This process hosts one protocol-level producer per replica task
-        # of its component, per reporting node; the replica a campaign's
+        # of its component, per reporting node; the replica a partition's
         # records flow through is fixed by the shared assignment, so the
         # seal registry's producer sets match what actually gets sealed.
         self.assignment = assignment or ReplicaAssignment(
@@ -180,7 +176,8 @@ class AdServer(Process):
             }
         self._entries = self._plan_entries(campaigns, seed, interleave)
         self._last_index = {
-            row[0]: position for position, row in enumerate(self._entries)
+            row[seal_column]: position
+            for position, row in enumerate(self._entries)
         }
         self._cursor = 0
         self.sent = 0
@@ -189,6 +186,11 @@ class AdServer(Process):
     def planned_entries(self) -> tuple[tuple, ...]:
         """Every click row this server will emit (chaos ground truth)."""
         return tuple(self._entries)
+
+    @property
+    def seal_partitions(self) -> frozenset:
+        """Every seal-partition value this server's entries touch."""
+        return frozenset(row[self.seal_column] for row in self._entries)
 
     def _plan_entries(
         self, campaigns: list[int], seed: int, interleave: bool
@@ -221,13 +223,13 @@ class AdServer(Process):
     def _burst(self) -> None:
         end = min(self._cursor + self.workload.batch_size, len(self._entries))
         batch = self._entries[self._cursor:end]
-        boundary_campaigns = self._campaign_boundaries(self._cursor, end)
+        boundary_partitions = self._partition_boundaries(self._cursor, end)
         for row in batch:
             self._dispatch(row)
         self.sent += len(batch)
         self._cursor = end
-        for campaign in boundary_campaigns:
-            self._seal_campaign(campaign)
+        for partition in boundary_partitions:
+            self._seal_partition(partition)
         if self._cursor < len(self._entries):
             self.after(self.workload.sleep, self._burst)
         elif self._producers:
@@ -235,13 +237,13 @@ class AdServer(Process):
             for (node, _task), producer in self._producers.items():
                 producer.seal_all(node)
 
-    def _campaign_boundaries(self, start: int, end: int) -> list[str]:
-        """Campaigns whose final record lies within [start, end)."""
+    def _partition_boundaries(self, start: int, end: int) -> list:
+        """Seal partitions whose final record lies within [start, end)."""
         done = []
         for position in range(start, end):
-            campaign = self._entries[position][0]
-            if self._last_index[campaign] == position:
-                done.append(campaign)
+            partition = self._entries[position][self.seal_column]
+            if self._last_index[partition] == position:
+                done.append(partition)
         return done
 
     def _dispatch(self, row: tuple) -> None:
@@ -252,19 +254,19 @@ class AdServer(Process):
             assert self.zk is not None
             self.zk.submit(ORDER_TOPIC, ("click", row))
         else:  # seal strategies
-            campaign = row[0]
-            task = self.assignment.task_for(self.name, campaign)
+            partition = row[self.seal_column]
+            task = self.assignment.task_for(self.name, partition)
             for node in self.report_nodes:
-                self._producers[(node, task)].send_record(node, campaign, row)
+                self._producers[(node, task)].send_record(node, partition, row)
 
-    def _seal_campaign(self, campaign: str) -> None:
+    def _seal_partition(self, partition) -> None:
         if not self._producers:
             return
-        task = self.assignment.task_for(self.name, campaign)
+        task = self.assignment.task_for(self.name, partition)
         for node in self.report_nodes:
             producer = self._producers[(node, task)]
-            if campaign not in producer.sealed_partitions:
-                producer.seal(node, campaign)
+            if partition not in producer.sealed_partitions:
+                producer.seal(node, partition)
 
     def recv(self, msg) -> None:
         if self.zk is not None and self.zk.handle(msg):
@@ -353,8 +355,22 @@ class AdNetworkResult:
         return all(s == sets[0] for s in sets[1:])
 
     # ------------------------------------------------------------------
-    # chaos-audit hooks: quiescent state and ground truth
+    # chaos-audit hooks: quiescent state, ground truth, decision log
     # ------------------------------------------------------------------
+    def sequencer_order(self) -> tuple:
+        """The recorded sequencer order (empty unless strategy=ordered).
+
+        Read back from the run trace's ``zk.order:<topic>`` records — the
+        decision log the order-conditioned oracle conditions cross-run
+        comparisons on.
+        """
+        return tuple(
+            value
+            for _seq, value in self.cluster.trace.data_series(
+                f"zk.order:{ORDER_TOPIC}"
+            )
+        )
+
     def committed_state(self, node: str) -> frozenset[tuple]:
         """A replica's durable state at quiescence, tagged by table."""
         replica = self.cluster.node(node)
@@ -383,6 +399,8 @@ def run_ad_network(
     query: str = "CAMPAIGN",
     query_kwargs: dict | None = None,
     zk_write_service: float = 0.003,
+    seal_key: str = "campaign",
+    reliable_sessions: bool = False,
     max_events: int | None = None,
     chaos: "Callable[[BloomCluster], None] | None" = None,
 ) -> AdNetworkResult:
@@ -391,11 +409,22 @@ def run_ad_network(
     ``seed`` controls network nondeterminism (delivery interleavings);
     ``workload_seed`` (defaulting to ``seed``) controls the generated
     click log, so two runs can share a workload while exploring different
-    delivery orders.  ``chaos`` receives the built, not-yet-running
-    cluster so ``repro.chaos`` schedules can arm fault injection.
+    delivery orders.  ``seal_key`` chooses the click column the seal
+    strategies punctuate on (``campaign`` / ``window`` / ``id`` — the
+    per-query keys of Figure 6).  ``reliable_sessions`` models every app
+    session as TCP-backed: click/request/seal traffic is exempt from loss
+    and duplication, retried across partitions, and re-delivered after a
+    crashed peer restarts — the fault envelope of the query-matrix audit,
+    where faults perturb order and timing but never durability.
+    ``chaos`` receives the built, not-yet-running cluster so
+    ``repro.chaos`` schedules can arm fault injection.
     """
     if strategy not in STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r}; have {STRATEGIES}")
+    if seal_key not in SEAL_COLUMNS:
+        raise ValueError(
+            f"unknown seal_key {seal_key!r}; have {sorted(SEAL_COLUMNS)}"
+        )
     workload = workload or AdWorkload()
     if strategy == "independent-seal" and workload.campaigns < workload.ad_servers:
         # campaign c is mastered at server c % ad_servers, so fewer
@@ -405,14 +434,33 @@ def run_ad_network(
             f"independent-seal needs campaigns >= ad_servers "
             f"(got {workload.campaigns} < {workload.ad_servers})"
         )
+    if strategy == "independent-seal" and seal_key != "campaign":
+        # the independent placement masters *campaigns* at single servers;
+        # sealing a different column would cross ownership boundaries
+        raise SimulationError("independent-seal requires seal_key='campaign'")
     workload_seed = seed if workload_seed is None else workload_seed
-    cluster = BloomCluster(seed=seed, latency=LatencyModel(base=0.002, jitter=0.004))
+    seal_column = SEAL_COLUMNS[seal_key]
+    reliable_kinds = ZK_KINDS + (
+        (SEAL_DATA, SEAL_PUNCT, INSERT_MSG) if reliable_sessions else ()
+    )
+    cluster = BloomCluster(
+        seed=seed,
+        latency=LatencyModel(base=0.002, jitter=0.004),
+        reliable_kinds=reliable_kinds,
+        retry_crashed=reliable_sessions,
+    )
 
     report_nodes = [f"report{i}" for i in range(workload.report_replicas)]
     server_names = [f"adserver{i}" for i in range(workload.ad_servers)]
 
     needs_zk = strategy in ("ordered", "seal", "independent-seal")
-    zk = install_zookeeper(cluster.network, write_service=zk_write_service) if needs_zk else None
+    zk = (
+        install_zookeeper(
+            cluster.network, write_service=zk_write_service, trace=cluster.trace
+        )
+        if needs_zk
+        else None
+    )
 
     campaign_producers = _campaign_assignment(strategy, workload, server_names)
     # Expand component-level producer sets to task-level sets using the
@@ -422,7 +470,6 @@ def run_ad_network(
         {name: workload.producer_replicas for name in server_names},
         collapse_single=True,
     )
-    producer_sets = replicas.producer_sets(campaign_producers)
 
     # Reporting replicas with their delivery policy.
     adapters = []
@@ -444,12 +491,9 @@ def run_ad_network(
                 )
             )
 
-    if zk is not None:
-        for campaign, producers in producer_sets.items():
-            zk.preload_znode(f"producers/{campaign!r}", sorted(producers))
-
     # Ad servers.
     horizon = (workload.entries_per_server / workload.batch_size) * workload.sleep
+    servers: list[AdServer] = []
     for index, name in enumerate(server_names):
         campaigns = [
             c
@@ -468,8 +512,23 @@ def run_ad_network(
             # ads by serving locality, interleaving campaigns in time
             interleave=strategy != "independent-seal",
             assignment=replicas,
+            seal_column=seal_column,
         )
         cluster.network.register(server)
+        servers.append(server)
+
+    if zk is not None and strategy in ("seal", "independent-seal"):
+        # The seal registry reflects the *actual* producers: the task-level
+        # set of every server whose planned entries touch a partition (a
+        # server that never emits a partition must not be waited on).
+        producer_sets: dict[object, set[str]] = {}
+        for server in servers:
+            for partition in server.seal_partitions:
+                producer_sets.setdefault(partition, set()).add(
+                    replicas.task_for(server.name, partition)
+                )
+        for partition, producers in producer_sets.items():
+            zk.preload_znode(f"producers/{partition!r}", sorted(producers))
 
     analyst = Analyst(
         "analyst",
@@ -611,6 +670,7 @@ def _audit_observe(outcome, _params: dict):
         },
         emitted={node: result.responses(node) for node in result.report_nodes},
         truth=result.ground_truth_state(),
+        order=result.sequencer_order() or None,
     )
 
 
@@ -643,7 +703,8 @@ APP = register(
     )
     .strategy(
         "ordered",
-        coordinated=True,
+        ordered=True,
+        order_topic=ORDER_TOPIC,
         description="total order through the Zookeeper sequencer",
     )
     .strategy(
@@ -653,7 +714,7 @@ APP = register(
         description="each campaign mastered at one producer; single-seal release",
     )
     .audit_profile(
-        strategies=("uncoordinated", "seal"),
+        strategies=("uncoordinated", "seal", "ordered"),
         horizon=0.4,
         schedules=_audit_schedules,
         run_params=_audit_run_params,

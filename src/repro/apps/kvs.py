@@ -21,12 +21,13 @@ import random
 from collections.abc import Callable
 
 from repro.api import BlazesApp, annotate, register
-from repro.bloom.cluster import INSERT_MSG, BloomCluster, BloomNode
+from repro.bloom.cluster import INSERT_MSG, ZK_KINDS, BloomCluster, BloomNode
 from repro.bloom.module import BloomModule
-from repro.bloom.rewrite import SealedInputAdapter
+from repro.bloom.rewrite import OrderedInputAdapter, SealedInputAdapter
 from repro.coord.sealing import DATA as SEAL_DATA
 from repro.coord.sealing import PUNCT as SEAL_PUNCT
 from repro.coord.sealing import SealedStreamProducer
+from repro.coord.zookeeper import ZkClient, install_zookeeper
 from repro.core.annotations import CW
 from repro.core.graph import Dataflow
 from repro.errors import SimulationError
@@ -35,6 +36,7 @@ from repro.sim.network import LatencyModel, Process
 __all__ = [
     "APP",
     "KVS_STRATEGIES",
+    "KVS_ORDER_TOPIC",
     "LwwKvs",
     "SnapshotCache",
     "kvs_dataflow",
@@ -45,9 +47,10 @@ __all__ = [
     "run_kvs",
 ]
 
-KVS_STRATEGIES = ("uncoordinated", "sealed")
+KVS_STRATEGIES = ("uncoordinated", "sealed", "ordered")
 
 PUT_STREAM = "kvs.puts"
+KVS_ORDER_TOPIC = "kvs.inputs"
 CLIENT = "client"
 
 
@@ -204,8 +207,12 @@ class KvsClient(Process):
     one :class:`~repro.coord.sealing.SealedStreamProducer` per store,
     partitioned by ``key``, punctuating a key when its last write is sent
     — the per-key seal the analysis says discharges the store's gate.
-    Gets are always broadcast; under ``sealed`` the consumer-side adapter
-    holds them until their key's partition is complete.
+    Gets are broadcast; under ``sealed`` the consumer-side adapter holds
+    them until their key's partition is complete.  ``ordered`` submits
+    both puts and gets to the Zookeeper sequencer, so every store replica
+    applies one total order (state-machine replication) — consistent, but
+    the answers reflect the sequencer's arbitrary interleaving rather
+    than the final LWW winners.
     """
 
     def __init__(
@@ -220,6 +227,7 @@ class KvsClient(Process):
         self.workload = workload
         self.strategy = strategy
         self.store_nodes = store_nodes
+        self.zk = ZkClient(self) if strategy == "ordered" else None
         rng = random.Random(f"kvs:{seed}")
         self._writes = self._plan_writes(rng)
         self._last_index = {
@@ -277,6 +285,9 @@ class KvsClient(Process):
         if self.strategy == "sealed":
             for node in self.store_nodes:
                 self._producers[node].send_record(node, row[0], row)
+        elif self.strategy == "ordered":
+            assert self.zk is not None
+            self.zk.submit(KVS_ORDER_TOPIC, ("put", row))
         else:
             for node in self.store_nodes:
                 self.send(node, INSERT_MSG, ("put", [row]))
@@ -286,10 +297,16 @@ class KvsClient(Process):
             producer.seal(node, key)
 
     def _ask(self, row: tuple) -> None:
+        if self.strategy == "ordered":
+            assert self.zk is not None
+            self.zk.submit(KVS_ORDER_TOPIC, ("get", row))
+            return
         for node in self.store_nodes:
             self.send(node, INSERT_MSG, ("get", [row]))
 
     def recv(self, msg) -> None:
+        if self.zk is not None and self.zk.handle(msg):
+            return
         raise SimulationError(f"kvs client got unexpected {msg.kind}")
 
 
@@ -383,6 +400,15 @@ class KvsResult:
             (reqid, key, winners[key]) for reqid, key in client.planned_gets
         )
 
+    def sequencer_order(self) -> tuple:
+        """The recorded sequencer order (empty unless strategy=ordered)."""
+        return tuple(
+            value
+            for _seq, value in self.cluster.trace.data_series(
+                f"zk.order:{KVS_ORDER_TOPIC}"
+            )
+        )
+
 
 def run_kvs(
     strategy: str,
@@ -390,6 +416,7 @@ def run_kvs(
     workload: KvsWorkload | None = None,
     seed: int = 0,
     workload_seed: int | None = None,
+    zk_write_service: float = 0.001,
     max_events: int | None = None,
     chaos: Callable[[BloomCluster], None] | None = None,
 ) -> KvsResult:
@@ -410,7 +437,14 @@ def run_kvs(
     cluster = BloomCluster(
         seed=seed,
         latency=LatencyModel(base=0.002, jitter=0.004),
-        reliable_kinds=(SEAL_DATA, SEAL_PUNCT, INSERT_MSG),
+        reliable_kinds=ZK_KINDS + (SEAL_DATA, SEAL_PUNCT, INSERT_MSG),
+    )
+    zk = (
+        install_zookeeper(
+            cluster.network, write_service=zk_write_service, trace=cluster.trace
+        )
+        if strategy == "ordered"
+        else None
     )
     store_nodes = [f"store{i}" for i in range(workload.store_replicas)]
     cache_nodes = [f"cache{i}" for i in range(workload.store_replicas)]
@@ -419,6 +453,10 @@ def run_kvs(
         cluster.add_node(cache_name, SnapshotCache())
         if strategy == "sealed":
             SealedKvsAdapter(store)
+        elif strategy == "ordered":
+            OrderedInputAdapter(store, KVS_ORDER_TOPIC)
+            assert zk is not None
+            zk.subscribe(KVS_ORDER_TOPIC, store_name)
         _attach_response_forwarder(store, cache_name)
     client = KvsClient(
         workload=workload,
@@ -518,6 +556,7 @@ def _audit_observe(outcome, _params: dict):
             for i, store in enumerate(result.store_nodes)
         },
         truth=result.ground_truth_cache(),
+        order=result.sequencer_order() or None,
     )
 
 
@@ -546,8 +585,14 @@ APP = register(
         "uncoordinated",
         description="operations broadcast straight to every store replica",
     )
+    .strategy(
+        "ordered",
+        ordered=True,
+        order_topic=KVS_ORDER_TOPIC,
+        description="puts and gets through the Zookeeper sequencer",
+    )
     .audit_profile(
-        strategies=("uncoordinated", "sealed"),
+        strategies=("uncoordinated", "sealed", "ordered"),
         horizon=0.12,
         schedules=_audit_schedules,
         run_params=_audit_run_params,

@@ -19,14 +19,26 @@ threshold (the lattice argument of the paper's reference [34]); the
 ``monotone=True`` hint on its aggregation is how a Bloom programmer states
 that fact.  The annotations above are what the white-box analysis derives
 for the request-to-response path (Section VI-B1).
+
+Each query is also a registered :class:`~repro.api.BlazesApp`
+(``q-thresh`` / ``q-poor`` / ``q-window`` / ``q-campaign``) deployed on
+the simulated ad network under three regimes — ``uncoordinated``,
+``sealed`` (clickstream punctuated on the query's own seal key), and
+``ordered`` (all inputs through the Zookeeper sequencer) — which is what
+lets the fault audit sweep the full Figure 6 coordination-requirement
+matrix empirically (``blazes audit --matrix``).
 """
 
 from __future__ import annotations
 
+from repro.api import BlazesApp, annotate, register
 from repro.bloom.module import BloomModule
 
 __all__ = [
     "QUERY_NAMES",
+    "QUERY_MATRIX_APPS",
+    "QUERY_SEAL_KEYS",
+    "CacheTier",
     "ThreshReport",
     "PoorReport",
     "WindowReport",
@@ -39,6 +51,11 @@ QUERY_NAMES = ("THRESH", "POOR", "WINDOW", "CAMPAIGN")
 CLICK_SCHEMA = ("campaign", "window", "id", "uid")
 REQUEST_SCHEMA = ("reqid", "id")
 RESPONSE_SCHEMA = ("reqid", "id")
+
+# The sequencer topic every reporting deployment's ordered strategy rides
+# (defined here, the leaf module, so the app registrations below need no
+# import of repro.apps.ad_network, which imports this module).
+ORDER_TOPIC = "report.inputs"
 
 
 class _ReportBase(BloomModule):
@@ -154,3 +171,226 @@ def make_report_module(query: str, **kwargs) -> BloomModule:
     except KeyError:
         raise ValueError(f"unknown query {query!r}; have {QUERY_NAMES}") from None
     return factory(**kwargs)
+
+
+@annotate(frm="request", to="response", label="CR")
+@annotate(frm="response", to="response", label="CW")
+@annotate(frm="request", to="request", label="CR")
+class CacheTier:
+    """The analyst-facing caching tier of Figure 4, grey-box annotated.
+
+    Requests are forwarded (confluent reads), responses append into the
+    cache and gossip to peers (a confluent write plus the self-edge that
+    forms the paper's footnote-3 cycle).  The tier exists in the logical
+    dataflow only; the simulated deployment answers analysts straight
+    from the reporting replicas.
+    """
+
+
+# ----------------------------------------------------------------------
+# the registered query-matrix apps (repro.api)
+# ----------------------------------------------------------------------
+# The seal key the paper's Figure 6 pairs with each query: the attribute
+# whose punctuation discharges the query's order-sensitive gate.  POOR's
+# gate is the bare ad ``id``; the paper rules sealing out there because an
+# unbounded clickstream never completes an ad's partition — the finite
+# audit workload does complete it, so the per-id seal is the (boundary)
+# case where sealing works exactly when the stream can be punctuated.
+QUERY_SEAL_KEYS = {
+    "THRESH": "campaign",
+    "POOR": "id",
+    "WINDOW": "window",
+    "CAMPAIGN": "campaign",
+}
+
+# Registered app name -> Figure 6 query: the matrix the audit sweeps.
+QUERY_MATRIX_APPS = {
+    "q-thresh": "THRESH",
+    "q-poor": "POOR",
+    "q-window": "WINDOW",
+    "q-campaign": "CAMPAIGN",
+}
+
+# `blazes audit --matrix` strategy columns, shared with chaos.campaign.
+MATRIX_STRATEGIES = ("uncoordinated", "sealed", "ordered")
+
+# The registry's "sealed" strategy runs the ad-network "seal" regime.
+_RUNTIME_STRATEGY = {"sealed": "seal"}
+
+
+def _query_runner(query: str):
+    def runner(
+        strategy: str,
+        *,
+        seed: int = 0,
+        workload=None,
+        query_kwargs: dict | None = None,
+        **kwargs,
+    ):
+        from repro.apps.ad_network import run_ad_network
+
+        if workload is None:
+            workload = _matrix_workload(query, False)
+        if query_kwargs is None:
+            query_kwargs = _default_query_kwargs(query, workload)
+        result = run_ad_network(
+            _RUNTIME_STRATEGY.get(strategy, strategy),
+            seed=seed,
+            query=query,
+            workload=workload,
+            query_kwargs=query_kwargs,
+            **kwargs,
+        )
+        summary = {
+            "query": query,
+            "processed": result.processed_count(),
+            "total_entries": result.workload.total_entries,
+            "completion_time": result.completion_time,
+            "replicas_agree": result.replicas_agree,
+        }
+        return summary, result, result.cluster
+
+    return runner
+
+
+def _matrix_workload(query: str, smoke: bool):
+    from repro.apps.ad_network import AdWorkload
+
+    # Group sizes are tuned per query so counts actually *cross* the
+    # query's threshold throughout the run (a count that never crosses is
+    # effectively monotone and hides the anomaly): most queries group per
+    # ad, where ~3-4 clicks per ad against a low threshold produce
+    # crossings spread over the whole stream; WINDOW splits each ad's
+    # clicks over 4 windows, so it gets fewer, denser ads to keep its
+    # per-(id, window) groups crossing too.
+    campaigns, ads = (4, 3) if query == "WINDOW" else (8, 5)
+    return AdWorkload(
+        ad_servers=2,
+        entries_per_server=60 if smoke else 80,
+        batch_size=20,
+        sleep=0.1,
+        campaigns=campaigns,
+        ads_per_campaign=ads,
+        requests=6 if smoke else 8,
+        report_replicas=2,
+    )
+
+
+def _default_query_kwargs(query: str, workload) -> dict:
+    per_ad = workload.total_entries / (
+        workload.campaigns * workload.ads_per_campaign
+    )
+    # WINDOW counts per (id, window) group; clicks spread over 4 windows
+    per_group = per_ad / 4 if query == "WINDOW" else per_ad
+    # scale the threshold so group counts *cross* it mid-run; below the
+    # crossing the "poor performers" predicate is effectively monotone
+    # and even uncoordinated replicas agree (the THRESH argument)
+    return {"threshold": max(2, int(per_group * 0.75))}
+
+
+def _matrix_run_params(query: str):
+    def run_params(smoke: bool) -> dict:
+        workload = _matrix_workload(query, smoke)
+        return {
+            "workload": workload,
+            "query_kwargs": _default_query_kwargs(query, workload),
+        }
+
+    return run_params
+
+
+def _matrix_schedules(_smoke: bool):
+    from repro.chaos.schedule import (
+        baseline,
+        crash_restart,
+        dup_burst,
+        reorder_burst,
+    )
+
+    # Every session is TCP-backed (reliable_sessions=True below) and
+    # re-established after a peer restart, so the envelope includes a
+    # replica crash: faults perturb delivery order and timing, never
+    # durability.  The dup burst only touches kinds outside the reliable
+    # set — for these apps it is the control cell asserting exactly-once
+    # stays exact.
+    return (baseline(), reorder_burst(), dup_burst(), crash_restart("worker"))
+
+
+def _matrix_roles(cluster) -> dict[str, list[str]]:
+    names = sorted(process.name for process in cluster.network.processes)
+    return {
+        "worker": [n for n in names if n.startswith("report")],
+        "source": [n for n in names if n.startswith("adserver")],
+        "client": [n for n in names if n == "analyst"],
+    }
+
+
+def _matrix_observe(outcome, _params: dict):
+    from repro.chaos.oracle import RunObservation
+
+    result = outcome.result
+    return RunObservation(
+        seed=outcome.seed,
+        committed={
+            node: result.committed_state(node) for node in result.report_nodes
+        },
+        emitted={node: result.responses(node) for node in result.report_nodes},
+        truth=result.ground_truth_state(),
+        order=result.sequencer_order() or None,
+    )
+
+
+def _build_query_app(name: str, query: str) -> BlazesApp:
+    seal_attr = QUERY_SEAL_KEYS[query]
+    app = (
+        BlazesApp(
+            name,
+            backend="bloom",
+            description=f"Figure 6 {query} query on the ad network",
+            runner=_query_runner(query),
+            defaults={"reliable_sessions": True},
+        )
+        .component("Report", lambda q=query: make_report_module(q), rep=True)
+        .component("Cache", CacheTier)
+        .stream("c", to="Report.click")
+        .stream("q", to="Cache.request")
+        .stream("q_fwd", frm="Cache.request", to="Report.request")
+        .stream("r", frm="Report.response", to="Cache.response")
+        .stream("gossip", frm="Cache.response", to="Cache.response")
+        .stream("answers", frm="Cache.response")
+        .strategy(
+            "uncoordinated",
+            # THRESH is the query that is *correct* uncoordinated —
+            # that row of the matrix is its default deployment
+            default=query == "THRESH",
+            description="clicks broadcast straight to every replica",
+        )
+        .strategy(
+            "sealed",
+            coordinated=True,
+            seals={"c": [seal_attr]},
+            run_params={"seal_key": seal_attr},
+            default=query != "THRESH",
+            description=f"clickstream sealed per {seal_attr}, producers vote",
+        )
+        .strategy(
+            "ordered",
+            ordered=True,
+            order_topic=ORDER_TOPIC,
+            description="total order through the Zookeeper sequencer",
+        )
+        .audit_profile(
+            strategies=MATRIX_STRATEGIES,
+            horizon=0.3,
+            schedules=_matrix_schedules,
+            run_params=_matrix_run_params(query),
+            roles=_matrix_roles,
+            observe=_matrix_observe,
+            workload_seed=7,
+        )
+    )
+    return app
+
+
+for _name, _query in QUERY_MATRIX_APPS.items():
+    register(_build_query_app(_name, _query))

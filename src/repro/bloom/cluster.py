@@ -19,12 +19,13 @@ from collections.abc import Callable, Iterable
 
 from repro.bloom.module import BloomModule
 from repro.bloom.runtime import BloomRuntime
+from repro.coord.zookeeper import ZK_KINDS
 from repro.errors import BloomError
 from repro.sim.events import Simulator
 from repro.sim.network import LatencyModel, Message, Network, Process
 from repro.sim.trace import Trace
 
-__all__ = ["BloomNode", "BloomCluster", "CHANNEL_MSG", "INSERT_MSG"]
+__all__ = ["BloomNode", "BloomCluster", "CHANNEL_MSG", "INSERT_MSG", "ZK_KINDS"]
 
 CHANNEL_MSG = "bloom.chan"
 INSERT_MSG = "bloom.insert"
@@ -139,10 +140,8 @@ class BloomCluster:
         latency: LatencyModel | None = None,
         drop_prob: float = 0.0,
         dup_prob: float = 0.0,
-        reliable_kinds: Iterable[str] = (
-            "zk.submit", "zk.deliver", "zk.set", "zk.get",
-            "zk.get_reply", "zk.set_reply",
-        ),
+        reliable_kinds: Iterable[str] = ZK_KINDS,
+        retry_crashed: bool = False,
     ) -> None:
         self.sim = Simulator(seed=seed)
         self.network = Network(
@@ -151,6 +150,7 @@ class BloomCluster:
             drop_prob=drop_prob,
             dup_prob=dup_prob,
             reliable_kinds=reliable_kinds,
+            retry_crashed=retry_crashed,
         )
         self.trace = Trace()
         self._nodes: dict[str, BloomNode] = {}

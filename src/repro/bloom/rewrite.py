@@ -18,6 +18,7 @@ Producers use the matching :class:`OrderedInputPublisher` /
 
 from __future__ import annotations
 
+from collections import deque
 from collections.abc import Callable, Iterable
 
 from repro.bloom.cluster import BloomNode
@@ -58,19 +59,45 @@ class OrderedInputAdapter:
     delivers is inserted into the runtime in sequence order, so all
     replicas process identical input sequences — state-machine
     replication.
+
+    Sequence order alone is not enough for replica agreement: Bloom nodes
+    batch whatever input is pending into one timestep, so a replica whose
+    deliveries bunched up (a reorder burst filling an inbox gap) would
+    evaluate at *different points* of the sequence than one that received
+    them spread out, and a standing query can emit from a transient state
+    only one of them ever observes.  The adapter therefore paces releases:
+    each sequenced value is applied in its own timestep, making the whole
+    evaluation trajectory — not just the input order — a deterministic
+    function of the sequencer's decision log.
     """
 
     def __init__(self, node: BloomNode, topic: str) -> None:
         self.node = node
         self.consumer = OrderedConsumer()
-        self.inbox = self.consumer.on_topic(topic, self._apply)
+        self.inbox = self.consumer.on_topic(topic, self._enqueue)
         node.add_plugin(self.consumer.handle)
         self.applied = 0
+        self._queue: deque[tuple[str, tuple]] = deque()
+        self._draining = False
 
-    def _apply(self, item: tuple[str, tuple]) -> None:
-        collection, row = item
+    def _enqueue(self, item: tuple[str, tuple]) -> None:
+        self._queue.append(item)
+        self._pump()
+
+    def _pump(self) -> None:
+        if self._draining or not self._queue:
+            return
+        self._draining = True
+        collection, row = self._queue.popleft()
         self.node.insert(collection, [tuple(row)])
         self.applied += 1
+        # the tick for this value fires at tick_delay; release the next
+        # one strictly after it so no two sequenced values share a step
+        self.node.after(self.node.tick_delay * 1.5, self._release_next)
+
+    def _release_next(self) -> None:
+        self._draining = False
+        self._pump()
 
 
 class SealedInputAdapter:

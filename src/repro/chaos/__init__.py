@@ -30,9 +30,15 @@ Figure 8 and Section VII.
 from repro.chaos.campaign import (
     audit_campaign,
     campaign_is_sound,
+    campaign_tightness,
     default_schedules,
     demonstrated_anomalies,
+    matrix_apps,
+    matrix_campaign,
+    matrix_is_expected,
+    matrix_summary,
     render_audit,
+    render_matrix,
 )
 from repro.chaos.harnesses import AppHarness, audit_apps, harness_for
 from repro.chaos.oracle import (
@@ -71,6 +77,7 @@ __all__ = [
     "audit_campaign",
     "baseline",
     "campaign_is_sound",
+    "campaign_tightness",
     "classify_runs",
     "crash_restart",
     "default_schedules",
@@ -78,7 +85,12 @@ __all__ = [
     "dup_burst",
     "harness_for",
     "loss_burst",
+    "matrix_apps",
+    "matrix_campaign",
+    "matrix_is_expected",
+    "matrix_summary",
     "render_audit",
+    "render_matrix",
     "reorder_burst",
     "split_link",
 ]

@@ -41,13 +41,24 @@ __all__ = [
     "DEFAULT_SMOKE_SEEDS",
     "audit_campaign",
     "campaign_is_sound",
+    "campaign_tightness",
     "default_schedules",
     "demonstrated_anomalies",
+    "matrix_apps",
+    "matrix_campaign",
+    "matrix_is_expected",
+    "matrix_summary",
     "render_audit",
+    "render_matrix",
 ]
 
 DEFAULT_SEEDS = (7, 11, 13)
 DEFAULT_SMOKE_SEEDS = (7, 11)
+
+# A cell is empirically *consistent* when its worst observation stays at
+# or below Async — the paper's "correct without (further) coordination"
+# judgment, orthogonal to soundness (observed <= predicted).
+_CONSISTENT_SEVERITY = ObservedLabel.ASYNC.severity
 
 
 def default_schedules(app: str, *, smoke: bool = False) -> tuple[FaultSchedule, ...]:
@@ -85,6 +96,9 @@ def _cell_metrics(
         "observed": str(verdict.observed),
         "observed_severity": verdict.observed.severity,
         "sound": verdict.sound_for(predicted),
+        # tightness: the label was *attained*, not merely an upper bound
+        "tight": verdict.observed.severity == predicted.severity,
+        "consistent": verdict.observed.severity <= _CONSISTENT_SEVERITY,
         "coordinated": strategy in harness.coordinated,
         "runs": len(observations),
         "evidence": list(verdict.evidence),
@@ -158,6 +172,161 @@ def campaign_is_sound(report: BenchReport) -> bool:
     return all(result["sound"] for result in report)
 
 
+def campaign_tightness(report: BenchReport) -> tuple[int, int]:
+    """``(tight_cells, total_cells)``: how often observed == predicted.
+
+    Soundness only bounds observations from above; tightness measures how
+    often the campaign actually *attained* the predicted severity, i.e.
+    how far the labels are from being vacuously sound over-predictions.
+    """
+    tight = sum(1 for result in report if result["tight"])
+    return tight, len(report)
+
+
+# ----------------------------------------------------------------------
+# the Figure 6 query matrix
+# ----------------------------------------------------------------------
+def matrix_apps() -> tuple[str, ...]:
+    """The registered query apps the Figure 6 matrix sweeps."""
+    from repro.apps.queries import QUERY_MATRIX_APPS
+
+    return tuple(QUERY_MATRIX_APPS)
+
+
+def matrix_campaign(
+    *,
+    smoke: bool = False,
+    seeds: Sequence[int] | None = None,
+    jobs: int = 1,
+    name: str | None = None,
+    reporter=None,
+    verbose: bool = False,
+) -> BenchReport:
+    """Sweep every Figure 6 query app through the fault audit.
+
+    The cells are ordinary audit cells — (query app) x {uncoordinated,
+    sealed, ordered} x {baseline, reorder, dup, crash} x seeds — and the
+    report is an ordinary audit report; :func:`matrix_summary` folds it
+    into the paper's per-query coordination-requirement matrix.
+    """
+    if seeds is None:
+        seeds = DEFAULT_SMOKE_SEEDS if smoke else DEFAULT_SEEDS
+    if name is None:
+        name = "fig6-matrix-smoke" if smoke else "fig6-matrix"
+    return audit_campaign(
+        matrix_apps(),
+        smoke=smoke,
+        seeds=seeds,
+        name=name,
+        reporter=reporter,
+        verbose=verbose,
+        jobs=jobs,
+    )
+
+
+def matrix_summary(report: BenchReport) -> dict[tuple[str, str], dict]:
+    """Fold a report's matrix cells into per-(query, strategy) verdicts.
+
+    Any report that contains the query-app cells works (the full audit
+    sweeps them too).  Each entry aggregates over that pair's schedules
+    and seeds: the worst observed label, the predicted label, soundness
+    (all cells), consistency (worst observed <= Async), and tightness.
+    """
+    from repro.apps.queries import QUERY_MATRIX_APPS
+
+    summary: dict[tuple[str, str], dict] = {}
+    for result in report:
+        app = result.params.get("app")
+        if app not in QUERY_MATRIX_APPS:
+            continue
+        key = (QUERY_MATRIX_APPS[app], result.params["strategy"])
+        cell = summary.setdefault(
+            key,
+            {
+                "observed": result["observed"],
+                "observed_severity": 0,
+                "predicted": result["predicted"],
+                "sound": True,
+                "tight_cells": 0,
+                "cells": 0,
+            },
+        )
+        if result["observed_severity"] > cell["observed_severity"]:
+            cell["observed_severity"] = result["observed_severity"]
+            cell["observed"] = result["observed"]
+        cell["sound"] = cell["sound"] and result["sound"]
+        cell["tight_cells"] += 1 if result["tight"] else 0
+        cell["cells"] += 1
+    for cell in summary.values():
+        cell["consistent"] = cell["observed_severity"] <= _CONSISTENT_SEVERITY
+    return summary
+
+
+def matrix_is_expected(report: BenchReport) -> bool:
+    """Does the observed matrix reproduce the paper's Figure 6 claims?
+
+    * every cell is sound (observed <= predicted);
+    * THRESH, the confluent query, is consistent even uncoordinated;
+    * POOR / WINDOW / CAMPAIGN are *inconsistent* uncoordinated (the
+      anomaly is demonstrated, not merely predicted) and consistent under
+      both the seal and the ordering strategy.
+    """
+    from repro.apps.queries import MATRIX_STRATEGIES, QUERY_MATRIX_APPS
+
+    summary = matrix_summary(report)
+    queries = set(QUERY_MATRIX_APPS.values())
+    expected_keys = {(q, s) for q in queries for s in MATRIX_STRATEGIES}
+    if not expected_keys <= set(summary):
+        return False
+    for (query, strategy), cell in summary.items():
+        if not cell["sound"]:
+            return False
+        if strategy == "uncoordinated":
+            if cell["consistent"] != (query == "THRESH"):
+                return False
+        elif not cell["consistent"]:
+            return False
+    return True
+
+
+def render_matrix(report: BenchReport) -> str:
+    """The Figure 6 grid: worst observed label per (query, strategy)."""
+    from repro.apps.queries import MATRIX_STRATEGIES, QUERY_NAMES
+
+    summary = matrix_summary(report)
+    if not summary:
+        return "no query-matrix cells in this report"
+    lines = [
+        "Figure 6 — observed coordination requirements "
+        "(worst over schedules x seeds; * = anomaly beyond Async)"
+    ]
+    header = ["query"] + list(MATRIX_STRATEGIES)
+    rows = [header]
+    for query in QUERY_NAMES:
+        row = [query]
+        for strategy in MATRIX_STRATEGIES:
+            cell = summary.get((query, strategy))
+            if cell is None:
+                row.append("-")
+                continue
+            marker = "" if cell["consistent"] else " *"
+            row.append(f"{cell['observed']}{marker}")
+        rows.append(row)
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines.extend(
+        "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+        for row in rows
+    )
+    verdict = (
+        "matrix matches Figure 6: THRESH sound uncoordinated; the "
+        "non-confluent queries need (and suffice with) sealing or ordering"
+        if matrix_is_expected(report)
+        else "MATRIX DEVIATES from the Figure 6 expectation"
+    )
+    lines.append(verdict)
+    return "\n".join(lines)
+
+
 def demonstrated_anomalies(report: BenchReport) -> dict[str, str]:
     """Uncoordinated cells that empirically exhibited ``Run`` or worse.
 
@@ -174,7 +343,7 @@ def demonstrated_anomalies(report: BenchReport) -> dict[str, str]:
 
 def render_audit(report: BenchReport, *, evidence: bool = False) -> str:
     """The human-readable audit verdict: table plus summary lines."""
-    lines = [report.table("predicted", "observed", "sound")]
+    lines = [report.table("predicted", "observed", "sound", "tight")]
     anomalies = demonstrated_anomalies(report)
     unsound = [result.name for result in report if not result["sound"]]
     lines.append("")
@@ -184,6 +353,10 @@ def render_audit(report: BenchReport, *, evidence: bool = False) -> str:
         lines.append(
             f"sound: all {len(report)} cells observed <= predicted (Figure 8)"
         )
+    tight, total = campaign_tightness(report)
+    lines.append(
+        f"tightness: {tight}/{total} cells attained their predicted label"
+    )
     if anomalies:
         rendered = ", ".join(f"{k} -> {v}" for k, v in sorted(anomalies.items()))
         lines.append(f"anomalies demonstrated without coordination: {rendered}")

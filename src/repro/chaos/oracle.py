@@ -16,7 +16,10 @@ cell, :func:`classify_runs` derives the worst anomaly the runs exhibited:
     Every run is internally consistent, but different seeds (different
     delivery interleavings of the same workload) committed different
     outputs — cross-run nondeterminism, which breaks replay-based fault
-    tolerance.
+    tolerance.  The comparison is *order-conditioned*: runs that recorded
+    a sequencer order (:attr:`RunObservation.order`) are compared only
+    within equal-order groups, because replay conditions on the recorded
+    decision log.
 ``Async`` (severity 2)
     Deterministic across replicas and seeds, but the committed output
     deviates from the app's ground truth (duplicated or lost effects of
@@ -82,16 +85,28 @@ class RunObservation:
     ``emitted`` maps each replica to everything it ever output (its
     observable history).  ``truth`` is the app's ground-truth committed
     set, or ``None`` when no exactly-once contract applies.
+
+    ``order`` is the run's recorded *decision log* — the total order a
+    sequencer committed for the run (``None`` when the deployment uses no
+    sequencer).  An ordered deployment is deterministic *given* its
+    order, but the order itself differs run to run, so the cross-run
+    (``Run``) comparison is conditioned on it: only runs that recorded
+    the same order are required to agree.  Replay-based fault tolerance
+    replays the log, so this conditioning is exactly the determinism that
+    replay needs.
     """
 
     seed: int
     committed: Mapping[str, frozenset]
     emitted: Mapping[str, frozenset]
     truth: frozenset | None = None
+    order: tuple | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "committed", dict(self.committed))
         object.__setattr__(self, "emitted", dict(self.emitted))
+        if self.order is not None:
+            object.__setattr__(self, "order", tuple(self.order))
 
     def replica_names(self) -> tuple[str, ...]:
         return tuple(sorted(self.committed))
@@ -152,23 +167,38 @@ def classify_runs(observations: Iterable[RunObservation]) -> OracleVerdict:
                 f"outputs ({_diff_summary(obs.emitted, names)})",
             )
 
-    # Cross-run comparison: the same workload under different delivery
-    # interleavings must commit (and emit) the same outputs.
+    # Cross-run comparison, conditioned on the recorded order: the same
+    # workload under different delivery interleavings must commit (and
+    # emit) the same outputs.  Runs that recorded a sequencer order are
+    # only compared against runs that recorded the *same* order — an
+    # ordered deployment legitimately produces different outputs under
+    # different decision logs, and replay always has the log.  Unordered
+    # runs (``order=None``) all fall in one group, the unconditional
+    # comparison.  The verdict depends on orders only through this
+    # grouping, never on their contents (relabeling invariance).
     if len(runs) > 1:
-        committed_sigs = {obs.seed: _signature(obs.committed) for obs in runs}
-        emitted_sigs = {obs.seed: _signature(obs.emitted) for obs in runs}
-        if len(set(committed_sigs.values())) > 1:
-            note(
-                ObservedLabel.RUN,
-                "committed outputs differ across seeds "
-                f"{_partition_seeds(committed_sigs)}",
+        for members in _order_groups(runs):
+            if len(members) < 2:
+                continue
+            conditioned = (
+                " (same recorded sequencer order)"
+                if members[0].order is not None
+                else ""
             )
-        elif len(set(emitted_sigs.values())) > 1:
-            note(
-                ObservedLabel.RUN,
-                "emitted outputs differ across seeds "
-                f"{_partition_seeds(emitted_sigs)}",
-            )
+            committed_sigs = {o.seed: _signature(o.committed) for o in members}
+            emitted_sigs = {o.seed: _signature(o.emitted) for o in members}
+            if len(set(committed_sigs.values())) > 1:
+                note(
+                    ObservedLabel.RUN,
+                    "committed outputs differ across seeds "
+                    f"{_partition_seeds(committed_sigs)}{conditioned}",
+                )
+            elif len(set(emitted_sigs.values())) > 1:
+                note(
+                    ObservedLabel.RUN,
+                    "emitted outputs differ across seeds "
+                    f"{_partition_seeds(emitted_sigs)}{conditioned}",
+                )
 
     # Ground truth: exactly-once means every replica committed precisely
     # the expected set.
@@ -193,6 +223,19 @@ def classify_runs(observations: Iterable[RunObservation]) -> OracleVerdict:
 # ----------------------------------------------------------------------
 # helpers
 # ----------------------------------------------------------------------
+def _order_groups(runs: list[RunObservation]) -> list[list[RunObservation]]:
+    """Partition seed-sorted runs by recorded order, deterministically.
+
+    Group identity is the order *value* (``None`` = the unordered group);
+    groups come back ordered by their smallest seed, so the verdict and
+    its evidence lines are a pure function of the observation set.
+    """
+    groups: dict[tuple | None, list[RunObservation]] = {}
+    for obs in runs:
+        groups.setdefault(obs.order, []).append(obs)
+    return sorted(groups.values(), key=lambda members: members[0].seed)
+
+
 def _disagreement(sets: Mapping[str, frozenset], names: tuple[str, ...]) -> bool:
     if len(names) < 2:
         return False

@@ -19,7 +19,10 @@ registry — the same catalog the benchmarks and the audit campaign use:
     Run the fault-injection audit campaign: every (app, strategy, fault
     schedule) cell is executed for several seeds and the observed anomaly
     is checked against the label the analysis predicted.  ``--jobs N``
-    fans the independent cells out over a process pool.
+    fans the independent cells out over a process pool.  ``--matrix``
+    restricts the sweep to the Figure 6 query apps, renders the observed
+    per-query coordination-requirement matrix, and additionally exits
+    nonzero when the matrix deviates from the paper's expectation.
 
 ``--json`` prints the machine-readable report
 (:func:`repro.core.report.report_to_dict`), so CI and the audit can diff
@@ -115,6 +118,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke", action="store_true", help="CI-sized workloads and seeds"
     )
     audit_cmd.add_argument(
+        "--matrix",
+        action="store_true",
+        help="sweep the Figure 6 query matrix (q-* apps x uncoordinated/"
+        "sealed/ordered) and check it against the paper's expectation",
+    )
+    audit_cmd.add_argument(
         "--apps",
         default=None,
         help="comma-separated subset of the registered audit apps",
@@ -131,7 +140,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--evidence", action="store_true", help="print oracle evidence lines"
     )
     audit_cmd.add_argument(
-        "--no-report", action="store_true", help="skip writing BENCH_audit*.json"
+        "--json", action="store_true", help="machine-readable audit report"
+    )
+    audit_cmd.add_argument(
+        "--no-report", action="store_true", help="skip writing BENCH_*.json"
     )
     return parser
 
@@ -223,8 +235,14 @@ def _cmd_analyze(args) -> int:
 
 
 def _cmd_plan(args) -> int:
-    result = _resolve_analysis(args.target, args.strategy)
-    plan = choose_strategies(result)
+    from repro.api import app_names, get_app
+
+    if args.target in app_names():
+        # the app resolves its own plan: an `ordered` strategy imposes
+        # the sequencer rather than synthesizing a fallback
+        plan = get_app(args.target).plan(args.strategy)
+    else:
+        plan = choose_strategies(_resolve_analysis(args.target, args.strategy))
     if args.json:
         print(json.dumps(plan_to_dict(plan), indent=2))
     else:
@@ -305,9 +323,19 @@ def _cmd_run(args) -> int:
 
 def _cmd_audit(args) -> int:
     from repro.bench import JsonReporter
-    from repro.chaos import audit_campaign, campaign_is_sound, render_audit
+    from repro.chaos import (
+        audit_campaign,
+        campaign_is_sound,
+        matrix_campaign,
+        matrix_is_expected,
+        render_audit,
+        render_matrix,
+    )
     from repro.chaos.campaign import DEFAULT_SEEDS, DEFAULT_SMOKE_SEEDS
+    from repro.core.report import audit_to_dict
 
+    if args.matrix and args.apps:
+        raise BlazesError("--matrix chooses its own apps; drop --apps")
     apps = None
     if args.apps:
         apps = tuple(name for name in args.apps.split(",") if name)
@@ -315,20 +343,41 @@ def _cmd_audit(args) -> int:
         seeds = tuple(args.seeds)
     else:
         seeds = DEFAULT_SMOKE_SEEDS if args.smoke else DEFAULT_SEEDS
-    name = "audit-smoke" if args.smoke else "audit"
     reporter = None if args.no_report else JsonReporter()
-    report = audit_campaign(
-        apps,
-        smoke=args.smoke,
-        seeds=seeds,
-        name=name,
-        reporter=reporter,
-        jobs=max(1, args.jobs),
-    )
-    print(render_audit(report, evidence=args.evidence))
-    if reporter is not None:
-        print(f"\nwrote {reporter.path_for(name)}")
-    return 0 if campaign_is_sound(report) else 4
+    if args.matrix:
+        name = "fig6-matrix-smoke" if args.smoke else "fig6-matrix"
+        report = matrix_campaign(
+            smoke=args.smoke,
+            seeds=seeds,
+            name=name,
+            reporter=reporter,
+            jobs=max(1, args.jobs),
+        )
+        ok = campaign_is_sound(report) and matrix_is_expected(report)
+    else:
+        name = "audit-smoke" if args.smoke else "audit"
+        report = audit_campaign(
+            apps,
+            smoke=args.smoke,
+            seeds=seeds,
+            name=name,
+            reporter=reporter,
+            jobs=max(1, args.jobs),
+        )
+        ok = campaign_is_sound(report)
+    if args.json:
+        payload = audit_to_dict(report)
+        if args.matrix:
+            payload["summary"]["matrix_expected"] = matrix_is_expected(report)
+        print(json.dumps(payload, indent=2))
+    else:
+        if args.matrix:
+            print(render_matrix(report))
+            print()
+        print(render_audit(report, evidence=args.evidence))
+        if reporter is not None:
+            print(f"\nwrote {reporter.path_for(name)}")
+    return 0 if ok else 4
 
 
 if __name__ == "__main__":

@@ -24,12 +24,15 @@ from __future__ import annotations
 import dataclasses
 from collections import deque
 from collections.abc import Callable
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import SimulationError
 from repro.sim.network import Message, Network, Process
 
-__all__ = ["ZookeeperService", "ZkStats", "ZkClient", "install_zookeeper"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.trace import Trace
+
+__all__ = ["ZK_KINDS", "ZookeeperService", "ZkStats", "ZkClient", "install_zookeeper"]
 
 SUBMIT = "zk.submit"
 DELIVER = "zk.deliver"
@@ -37,6 +40,10 @@ SET = "zk.set"
 GET = "zk.get"
 GET_REPLY = "zk.get_reply"
 SET_REPLY = "zk.set_reply"
+
+# Every message kind of the protocol: Zookeeper sessions are TCP-backed
+# in real deployments, so networks list these as reliable kinds.
+ZK_KINDS = (SUBMIT, DELIVER, SET, GET, GET_REPLY, SET_REPLY)
 
 
 @dataclasses.dataclass
@@ -72,13 +79,16 @@ class ZookeeperService(Process):
         *,
         write_service: float = 0.004,
         read_service: float = 0.001,
+        trace: "Trace | None" = None,
     ) -> None:
         super().__init__(name)
         self.write_service = write_service
         self.read_service = read_service
+        self.trace = trace
         self.stats = ZkStats()
         self._subscribers: dict[str, list[str]] = {}
         self._sequences: dict[str, int] = {}
+        self._log: dict[str, list[Any]] = {}
         self._znodes: dict[str, Any] = {}
         self._queue: deque[tuple[str, Message]] = deque()
         self._busy = False
@@ -99,6 +109,18 @@ class ZookeeperService(Process):
     def znode(self, path: str) -> Any:
         """Read a znode synchronously (assertions only; no cost modeled)."""
         return self._znodes.get(path)
+
+    def committed_order(self, topic: str) -> tuple:
+        """The total order the sequencer committed for one topic.
+
+        This is the run's *decision log*: a different run of the same
+        workload commits a different (but equally valid) order, which is
+        why cross-run comparisons of ordered deployments must condition
+        on it (see :func:`repro.chaos.oracle.classify_runs`).  The same
+        order is recorded as ``zk.order:<topic>`` trace events when the
+        service was built with a :class:`~repro.sim.trace.Trace`.
+        """
+        return tuple(self._log.get(topic, ()))
 
     # ------------------------------------------------------------------
     # message handling
@@ -123,6 +145,9 @@ class ZookeeperService(Process):
             self.stats.submits += 1
             seq = self._sequences.get(topic, 0)
             self._sequences[topic] = seq + 1
+            self._log.setdefault(topic, []).append(value)
+            if self.trace is not None:
+                self.trace.record(self.now, self.name, f"zk.order:{topic}", (seq, value))
             for subscriber in self._subscribers.get(topic, ()):
                 self.stats.deliveries += 1
                 self.send(subscriber, DELIVER, (topic, seq, value))
@@ -196,10 +221,15 @@ def install_zookeeper(
     name: str = "zookeeper",
     write_service: float = 0.004,
     read_service: float = 0.001,
+    trace: "Trace | None" = None,
 ) -> ZookeeperService:
-    """Create and register a service instance on a network."""
+    """Create and register a service instance on a network.
+
+    Pass a :class:`~repro.sim.trace.Trace` to record the committed total
+    order of every topic as ``zk.order:<topic>`` events.
+    """
     service = ZookeeperService(
-        name, write_service=write_service, read_service=read_service
+        name, write_service=write_service, read_service=read_service, trace=trace
     )
     network.register(service)
     return service

@@ -41,14 +41,17 @@ from repro.core.labels import (
 )
 from repro.core.patterns import Finding, lint_dataflow
 from repro.core.reconciliation import ReconciliationResult, is_protected, reconcile
-from repro.core.report import plan_to_dict, render_report, report_to_dict
+from repro.core.report import audit_to_dict, plan_to_dict, render_report, report_to_dict
 from repro.core.spec import build_dataflow, dump_spec, load_spec, loads_spec
 from repro.core.strategy import (
     CoordinationPlan,
     NoCoordination,
+    OrderedStrategy,
     OrderStrategy,
     SealStrategy,
     choose_strategies,
+    label_under_ordering,
+    ordered_plan,
 )
 
 __all__ = [
@@ -93,6 +96,7 @@ __all__ = [
     "ReconciliationResult",
     "is_protected",
     "reconcile",
+    "audit_to_dict",
     "plan_to_dict",
     "render_report",
     "report_to_dict",
@@ -103,6 +107,9 @@ __all__ = [
     "CoordinationPlan",
     "NoCoordination",
     "OrderStrategy",
+    "OrderedStrategy",
     "SealStrategy",
     "choose_strategies",
+    "label_under_ordering",
+    "ordered_plan",
 ]

@@ -17,12 +17,13 @@ from repro.core.derivation import render_output
 from repro.core.labels import LabelKind
 from repro.core.strategy import (
     CoordinationPlan,
+    OrderedStrategy,
     OrderStrategy,
     SealStrategy,
     choose_strategies,
 )
 
-__all__ = ["plan_to_dict", "render_report", "report_to_dict"]
+__all__ = ["audit_to_dict", "plan_to_dict", "render_report", "report_to_dict"]
 
 _ANOMALY_GLOSS = {
     LabelKind.ASYNC: "deterministic contents; nondeterministic order",
@@ -106,6 +107,9 @@ def plan_to_dict(plan: CoordinationPlan) -> dict[str, Any]:
         elif isinstance(strategy, OrderStrategy):
             entry["streams"] = list(strategy.streams)
             entry["reason"] = strategy.reason
+        elif isinstance(strategy, OrderedStrategy):
+            entry["streams"] = list(strategy.streams)
+            entry["topic"] = strategy.topic
         strategies.append(entry)
     return {
         "coordinated_components": list(plan.coordinated_components),
@@ -162,3 +166,43 @@ def report_to_dict(
             for (component, iface), record in result.outputs.items()
         }
     return payload
+
+
+def audit_to_dict(report) -> dict[str, Any]:
+    """Serialize an audit/matrix campaign report as a JSON-able mapping.
+
+    ``report`` is the :class:`repro.bench.BenchReport` an audit campaign
+    produces; the payload carries every cell's predicted/observed labels,
+    soundness, and *tightness* (observed == predicted, not merely <=),
+    plus the campaign-level summary ``blazes audit --json`` prints.
+    """
+    from repro.chaos.campaign import (
+        campaign_is_sound,
+        campaign_tightness,
+        demonstrated_anomalies,
+    )
+
+    tight, total = campaign_tightness(report)
+    return {
+        "campaign": report.name,
+        "cells": [
+            {
+                "name": result.name,
+                "params": dict(result.params),
+                "predicted": result["predicted"],
+                "observed": result["observed"],
+                "sound": result["sound"],
+                "tight": result["tight"],
+                "coordinated": result["coordinated"],
+                "evidence": list(result["evidence"]),
+            }
+            for result in report
+        ],
+        "summary": {
+            "cells": len(report),
+            "sound": campaign_is_sound(report),
+            "tight_cells": tight,
+            "tightness": (tight / total) if total else 1.0,
+            "anomalies": demonstrated_anomalies(report),
+        },
+    }

@@ -28,14 +28,17 @@ import dataclasses
 from repro.core.analysis import AnalysisResult
 from repro.core.annotations import STAR
 from repro.core.fd import compatible
-from repro.core.labels import LabelKind
+from repro.core.labels import Async, Label, LabelKind
 
 __all__ = [
     "SealStrategy",
     "OrderStrategy",
+    "OrderedStrategy",
     "NoCoordination",
     "CoordinationPlan",
     "choose_strategies",
+    "ordered_plan",
+    "label_under_ordering",
 ]
 
 
@@ -83,6 +86,33 @@ class OrderStrategy:
 
 
 @dataclasses.dataclass(frozen=True)
+class OrderedStrategy:
+    """Total-order delivery *imposed* by the deployment.
+
+    :class:`OrderStrategy` is the analyzer's fallback recommendation —
+    "sealing does not apply here, use the ordering service".
+    ``OrderedStrategy`` is the installed mechanism: the deployment routes
+    the component's inputs through the sequencer up front (the paper's
+    always-applicable Section V-B2 strategy), whether or not sealing
+    would also have worked.  ``topic`` names the sequencer topic the
+    inputs ride.
+    """
+
+    component: str
+    streams: tuple[str, ...]
+    topic: str = ""
+
+    kind = "ordered"
+
+    def describe(self) -> str:
+        topic = f" on topic {self.topic!r}" if self.topic else ""
+        return (
+            f"sequencer-ordered delivery installed at {self.component} for "
+            f"streams {', '.join(self.streams)}{topic}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
 class NoCoordination:
     """The component is confluent (or already protected): nothing to do."""
 
@@ -94,7 +124,7 @@ class NoCoordination:
         return f"no coordination required at {self.component}"
 
 
-Strategy = SealStrategy | OrderStrategy | NoCoordination
+Strategy = SealStrategy | OrderStrategy | OrderedStrategy | NoCoordination
 
 
 @dataclasses.dataclass
@@ -113,8 +143,10 @@ class CoordinationPlan:
 
     @property
     def uses_global_order(self) -> bool:
-        """True when any component falls back to the ordering service."""
-        return any(s.kind == "order" for s in self.strategies.values())
+        """True when any component relies on the ordering service."""
+        return any(
+            s.kind in ("order", "ordered") for s in self.strategies.values()
+        )
 
     def strategy_for(self, component: str) -> Strategy:
         return self.strategies.get(component, NoCoordination(component))
@@ -191,6 +223,41 @@ def _strategy_for_component(result: AnalysisResult, name: str) -> Strategy:
 
     streams = tuple(sorted({s.name for s in dataflow.streams_into(name)}))
     return OrderStrategy(name, streams, reason or "sealing not applicable")
+
+
+def ordered_plan(result: AnalysisResult, *, topic: str = "") -> CoordinationPlan:
+    """The plan of a deployment that imposes ordering up front.
+
+    Every component with at least one order-sensitive path gets an
+    :class:`OrderedStrategy` over its input streams; confluent components
+    need nothing.  This is the paper's always-applicable strategy: unlike
+    :func:`choose_strategies` it never needs a compatible seal key, at
+    the price of funneling the streams through the sequencer's global
+    serialization point.
+    """
+    strategies: dict[str, Strategy] = {}
+    dataflow = result.dataflow
+    for component in dataflow.components:
+        if all(path.annotation.confluent for path in component.paths):
+            strategies[component.name] = NoCoordination(component.name)
+            continue
+        streams = tuple(sorted({s.name for s in dataflow.streams_into(component.name)}))
+        strategies[component.name] = OrderedStrategy(component.name, streams, topic)
+    return CoordinationPlan(strategies)
+
+
+def label_under_ordering(label: Label) -> Label:
+    """The residual sink label once ordered delivery is installed.
+
+    A sequencer makes every replica apply one total order, so the
+    cross-instance and cross-run anomalies (``Run``/``Inst``/``Diverge``)
+    collapse; what remains is ``Async`` — contents deterministic *given
+    the recorded order*, which itself varies run to run.  Labels at or
+    below ``Async`` are already stronger and pass through unchanged.
+    """
+    if label.severity > Async().severity:
+        return Async()
+    return label
 
 
 def _seal_key_of(result: AnalysisResult, stream_name: str) -> frozenset[str] | None:

@@ -30,6 +30,17 @@ class FailureInjector:
         self.recoveries: list[tuple[float, str]] = []
         self.partitions: list[tuple[float, str, str]] = []
         self.heals: list[tuple[float, str, str]] = []
+        # Open fault windows, tracked so overlapping windows compose: each
+        # window adds its value on begin and removes it on end, and the
+        # network parameter is recomputed from the remaining set.  (The
+        # old capture-and-restore scheme re-imposed a closed window's
+        # inflation forever when windows overlapped.)
+        self._loss_windows: list[float] = []
+        self._dup_windows: list[float] = []
+        self._reorder_windows: list[float] = []
+        self._base_drop: float | None = None
+        self._base_dup: float | None = None
+        self._base_latency: LatencyModel | None = None
 
     def crash(self, process_name: str, at: float) -> None:
         """Crash ``process_name`` at virtual time ``at``."""
@@ -47,30 +58,55 @@ class FailureInjector:
         self.recover(process_name, at + duration)
 
     def loss_window(self, at: float, duration: float, drop_prob: float) -> None:
-        """Raise the network drop probability to ``drop_prob`` temporarily."""
+        """Raise the network drop probability to ``drop_prob`` temporarily.
+
+        Overlapping windows compose: the strongest open window governs,
+        and the pre-window probability returns when the last one closes.
+        """
         network = self.network
 
-        def begin() -> None:
-            previous = network.drop_prob
-            network.drop_prob = drop_prob
-            network.sim.schedule(duration, lambda: _restore(previous))
+        def recompute() -> None:
+            assert self._base_drop is not None
+            network.drop_prob = max([self._base_drop, *self._loss_windows])
 
-        def _restore(previous: float) -> None:
-            network.drop_prob = previous
+        def begin() -> None:
+            if not self._loss_windows:
+                self._base_drop = network.drop_prob
+            self._loss_windows.append(drop_prob)
+            recompute()
+            network.sim.schedule(duration, end)
+
+        def end() -> None:
+            self._loss_windows.remove(drop_prob)
+            recompute()
+            if not self._loss_windows:
+                self._base_drop = None
 
         network.sim.schedule_at(at, begin)
 
     def duplicate_window(self, at: float, duration: float, dup_prob: float) -> None:
-        """Raise the network duplication probability temporarily."""
+        """Raise the network duplication probability temporarily.
+
+        Overlap composes like :meth:`loss_window`.
+        """
         network = self.network
 
-        def begin() -> None:
-            previous = network.dup_prob
-            network.dup_prob = dup_prob
-            network.sim.schedule(duration, lambda: _restore(previous))
+        def recompute() -> None:
+            assert self._base_dup is not None
+            network.dup_prob = max([self._base_dup, *self._dup_windows])
 
-        def _restore(previous: float) -> None:
-            network.dup_prob = previous
+        def begin() -> None:
+            if not self._dup_windows:
+                self._base_dup = network.dup_prob
+            self._dup_windows.append(dup_prob)
+            recompute()
+            network.sim.schedule(duration, end)
+
+        def end() -> None:
+            self._dup_windows.remove(dup_prob)
+            recompute()
+            if not self._dup_windows:
+                self._base_dup = None
 
         network.sim.schedule_at(at, begin)
 
@@ -114,17 +150,37 @@ class FailureInjector:
         Higher jitter widens the delivery-time spread of back-to-back
         messages, so more pairs arrive out of order — nondeterminism
         without loss, the fault class the Blazes labels are really about.
+        Overlapping windows inflate the *pre-window* jitter by the largest
+        open factor (they do not multiply), and the baseline latency model
+        returns exactly when the last window closes — this also covers
+        retransmitting sessions (reliable kinds crossing a partition),
+        whose retry delays are sampled from the live latency model.
         """
         network = self.network
 
-        def begin() -> None:
-            previous = network.latency
-            jitter = previous.jitter if previous.jitter > 0 else previous.base
-            network.latency = LatencyModel(previous.base, jitter * factor)
-            network.sim.schedule(duration, lambda: _restore(previous))
+        def recompute() -> None:
+            assert self._base_latency is not None
+            base = self._base_latency
+            if not self._reorder_windows:
+                network.latency = base
+                return
+            jitter = base.jitter if base.jitter > 0 else base.base
+            network.latency = LatencyModel(
+                base.base, jitter * max(self._reorder_windows)
+            )
 
-        def _restore(previous: LatencyModel) -> None:
-            network.latency = previous
+        def begin() -> None:
+            if not self._reorder_windows:
+                self._base_latency = network.latency
+            self._reorder_windows.append(factor)
+            recompute()
+            network.sim.schedule(duration, end)
+
+        def end() -> None:
+            self._reorder_windows.remove(factor)
+            recompute()
+            if not self._reorder_windows:
+                self._base_latency = None
 
         network.sim.schedule_at(at, begin)
 

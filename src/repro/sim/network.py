@@ -106,12 +106,26 @@ class Network:
         drop_prob: float = 0.0,
         dup_prob: float = 0.0,
         reliable_kinds: Iterable[str] = (),
+        retry_crashed: bool = False,
+        retry_limit: int = 1000,
     ) -> None:
         self.sim = sim
         self.latency = latency or LatencyModel()
         self.drop_prob = drop_prob
         self.dup_prob = dup_prob
         self.reliable_kinds = frozenset(reliable_kinds)
+        # With retry_crashed, reliable kinds are also retransmitted while
+        # their destination is crashed: the session layer they stand for
+        # (e.g. a Zookeeper client session) is re-established when the
+        # peer restarts and resumes delivery.
+        self.retry_crashed = retry_crashed
+        # Session timeout: a reliable message retries at most this many
+        # times (across partitions and crashed peers) before the session
+        # gives up and the message counts as dropped.  Far above any
+        # healing window in practice, it exists so a *permanent* crash or
+        # partition ends in visible loss instead of a simulator that
+        # never quiesces.
+        self.retry_limit = retry_limit
         self._processes: dict[str, Process] = {}
         # reference-counted so overlapping partitions on one link don't
         # heal early when the first window closes
@@ -195,23 +209,38 @@ class Network:
             delay = self.latency.sample(self.sim.rng)
             self.sim.schedule(delay, lambda m=msg: self._deliver(m))
 
-    def _deliver(self, msg: Message) -> None:
+    def _deliver(self, msg: Message, attempt: int = 0) -> None:
         if (msg.src, msg.dst) in self._blocked_links:
             # Reliable kinds model TCP-backed sessions: the transport keeps
             # retransmitting until the partition heals, so the message is
             # delayed, not lost.  Everything else is dropped on the floor.
             if msg.kind in self.reliable_kinds:
-                self.retried += 1
-                delay = self.latency.base + self.latency.sample(self.sim.rng)
-                self.sim.schedule(delay, lambda m=msg: self._deliver(m))
+                self._retry(msg, attempt)
                 return
             self.dropped += 1
             return
         process = self._processes.get(msg.dst)
         if process is None or process.crashed:
+            if (
+                process is not None
+                and self.retry_crashed
+                and msg.kind in self.reliable_kinds
+            ):
+                self._retry(msg, attempt)
+                return
             self.dropped += 1
             return
         self.delivered += 1
         for observer in self._observers:
             observer(msg)
         process.recv(msg)
+
+    def _retry(self, msg: Message, attempt: int) -> None:
+        if attempt >= self.retry_limit:
+            # session timeout: the peer never came back within the
+            # transport's patience — the loss becomes observable
+            self.dropped += 1
+            return
+        self.retried += 1
+        delay = self.latency.base + self.latency.sample(self.sim.rng)
+        self.sim.schedule(delay, lambda m=msg, a=attempt: self._deliver(m, a + 1))

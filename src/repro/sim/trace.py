@@ -86,6 +86,16 @@ class Trace:
             edge += bucket
         return series
 
+    def data_series(self, event: str) -> list:
+        """The ``data`` payloads of one event, in record (= time) order.
+
+        This is how recorded decision logs are read back — e.g. the
+        sequencer's committed order (``zk.order:<topic>`` records carry
+        ``(seq, value)``), which the order-conditioned consistency oracle
+        conditions its cross-run comparison on.
+        """
+        return [r.data for r in self._records if r.event == event]
+
     def first(self, event: str) -> TraceRecord | None:
         """Earliest record with the given event name, if any."""
         candidates = self.select(event=event)

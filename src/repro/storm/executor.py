@@ -31,6 +31,7 @@ from typing import Any
 
 from repro.coord.assignment import ReplicaAssignment, stable_hash
 from repro.coord.ordering import OrderedInbox
+from repro.coord.zookeeper import ZK_KINDS
 from repro.errors import StormError
 from repro.sim.network import LatencyModel, Message, Network, Process
 from repro.sim.events import Simulator
@@ -456,11 +457,7 @@ class StormCluster:
         self.sim = Simulator(seed=self.config.seed)
         # Control-plane traffic (Zookeeper sessions, commit coordination)
         # rides TCP-backed sessions in real deployments: exempt from loss.
-        reliable = (
-            "zk.submit", "zk.deliver", "zk.set", "zk.get",
-            "zk.get_reply", "zk.set_reply",
-            "txn.ready", "txn.committed", "txn.reack",
-        )
+        reliable = ZK_KINDS + ("txn.ready", "txn.committed", "txn.reack")
         self.network = Network(
             self.sim,
             latency=self.config.latency,

@@ -142,6 +142,101 @@ def test_independent_seal_rejects_fewer_campaigns_than_servers():
         run_ad_network("independent-seal", workload=workload)
 
 
+class TestSealKeys:
+    """Seal strategies generalized over the Figure 6 partition columns."""
+
+    WORKLOAD = AdWorkload(
+        ad_servers=2,
+        entries_per_server=80,
+        batch_size=20,
+        sleep=0.1,
+        campaigns=4,
+        ads_per_campaign=3,
+        requests=4,
+        report_replicas=2,
+    )
+
+    def test_window_seal_processes_everything_deterministically(self):
+        tables = []
+        for seed in (3, 4):
+            result = run_ad_network(
+                "seal", workload=self.WORKLOAD, seed=seed, workload_seed=1,
+                query="WINDOW", seal_key="window",
+            )
+            for node in result.report_nodes:
+                assert result.processed_count(node) == self.WORKLOAD.total_entries
+            assert result.replicas_agree
+            tables.append(result.cluster.node("report0").read("clicks"))
+        assert tables[0] == tables[1]
+
+    def test_window_seal_registers_window_partitions(self):
+        result = run_ad_network(
+            "seal", workload=self.WORKLOAD, seed=3, query="WINDOW",
+            seal_key="window",
+        )
+        zk = result.cluster.network.process("zookeeper")
+        for window in range(4):
+            producers = zk.znode(f"producers/{window!r}")
+            assert producers == ["adserver0", "adserver1"], window
+
+    def test_id_seal_covers_poor_query(self):
+        result = run_ad_network(
+            "seal", workload=self.WORKLOAD, seed=3, query="POOR",
+            seal_key="id", query_kwargs={"threshold": 10},
+        )
+        for node in result.report_nodes:
+            assert result.processed_count(node) == self.WORKLOAD.total_entries
+        assert result.replicas_agree
+        # the registry holds only ads that are actually produced, and
+        # only by the servers that produce them
+        zk = result.cluster.network.process("zookeeper")
+        produced = set()
+        for name in ("adserver0", "adserver1"):
+            produced |= result.cluster.network.process(name).seal_partitions
+        for ad in produced:
+            assert zk.znode(f"producers/{ad!r}"), ad
+
+    def test_unknown_seal_key_rejected(self):
+        with pytest.raises(ValueError, match="seal_key"):
+            run_ad_network("seal", workload=SMALL, seal_key="uid")
+
+    def test_independent_seal_requires_campaign_key(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError, match="seal_key"):
+            run_ad_network(
+                "independent-seal", workload=SMALL, seal_key="window"
+            )
+
+
+class TestOrderedDecisionLog:
+    """The ordered strategy records its sequencer order in the trace."""
+
+    def test_order_recorded_and_complete(self):
+        result = run_ad_network("ordered", workload=SMALL, seed=1)
+        order = result.sequencer_order()
+        assert len(order) == SMALL.total_entries + SMALL.requests
+        kinds = {kind for kind, _row in order}
+        assert kinds == {"click", "request"}
+
+    def test_other_strategies_record_nothing(self):
+        result = run_ad_network("seal", workload=SMALL, seed=1)
+        assert result.sequencer_order() == ()
+
+    def test_replicas_share_emitted_history_under_threshold_crossing(self):
+        """Per-item timesteps: ordered replicas emit identical response
+        histories even when counts cross the query threshold mid-run."""
+        for seed in (1, 2, 3):
+            result = run_ad_network(
+                "ordered", workload=SMALL, seed=seed, workload_seed=1,
+                query="POOR", query_kwargs={"threshold": 4},
+            )
+            histories = {
+                result.responses(node) for node in result.report_nodes
+            }
+            assert len(histories) == 1, seed
+
+
 class TestProducerReplicas:
     """Seal producer sets derived from the actual replica assignment."""
 

@@ -137,3 +137,43 @@ class TestKvsCluster:
     def test_unknown_strategy_rejected(self):
         with pytest.raises(ValueError):
             run_kvs("chaotic")
+
+
+class TestOrderedKvs:
+    """Section V-B2 applied: the sequencer restores replica agreement."""
+
+    def test_ordered_replicas_agree_everywhere(self):
+        result = run_kvs("ordered", seed=7, workload_seed=7)
+        assert result.stores_converged
+        assert result.caches_agree
+        histories = {result.responses(node) for node in result.store_nodes}
+        assert len(histories) == 1
+
+    def test_ordered_answers_reflect_the_recorded_order_not_final_winners(self):
+        """Consistent but not exactly-once: gets sequenced mid-stream read
+        the winner *at their slot*, so the committed cache deviates from
+        the final-winner ground truth — the Async residue of ordering."""
+        result = run_kvs("ordered", seed=7, workload_seed=7)
+        order = result.sequencer_order()
+        assert len(order) == result.workload.total_writes + result.workload.gets
+        winners: dict = {}
+        expected = set()
+        for kind, row in order:
+            if kind == "put":
+                key, val, ts = row
+                if winners.get(key) is None or (ts, val) > winners[key]:
+                    winners[key] = (ts, val)
+            else:
+                reqid, key = row
+                if key in winners:
+                    expected.add((reqid, key, winners[key][1]))
+        for cache in result.cache_nodes:
+            assert result.cache_entries(cache) == frozenset(expected)
+        assert frozenset(expected) != result.ground_truth_cache()
+
+    def test_different_seeds_pick_different_orders(self):
+        orders = {
+            run_kvs("ordered", seed=seed, workload_seed=7).sequencer_order()
+            for seed in (7, 11)
+        }
+        assert len(orders) == 2

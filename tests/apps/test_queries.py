@@ -85,3 +85,63 @@ def test_every_query_module_builds(query):
 def test_unknown_query_rejected():
     with pytest.raises(ValueError):
         make_report_module("MEDIAN")
+
+
+class TestRegisteredQueryApps:
+    """Each Figure 6 query is a registered app with the three regimes."""
+
+    def test_all_four_apps_registered(self):
+        from repro.api import get_app
+        from repro.apps.queries import QUERY_MATRIX_APPS
+
+        assert set(QUERY_MATRIX_APPS.values()) == set(QUERY_NAMES)
+        for name in QUERY_MATRIX_APPS:
+            app = get_app(name)
+            assert app.strategies == ("uncoordinated", "sealed", "ordered")
+            assert app.auditable
+
+    def test_predicted_labels_reproduce_figure6(self):
+        from repro.api import get_app
+
+        predicted = {
+            (query, strategy): str(
+                get_app(f"q-{query.lower()}").predicted_label(strategy)
+            )
+            for query in QUERY_NAMES
+            for strategy in ("uncoordinated", "sealed", "ordered")
+        }
+        # THRESH is confluent; the others diverge uncoordinated and are
+        # repaired to Async by their seal key or by the sequencer
+        for strategy in ("uncoordinated", "sealed", "ordered"):
+            assert predicted[("THRESH", strategy)] == "Async"
+        for query in ("POOR", "WINDOW", "CAMPAIGN"):
+            assert predicted[(query, "uncoordinated")] == "Diverge"
+            assert predicted[(query, "sealed")] == "Async"
+            assert predicted[(query, "ordered")] == "Async"
+
+    def test_sealed_strategy_uses_the_query_seal_key(self):
+        from repro.api import get_app
+        from repro.apps.queries import QUERY_MATRIX_APPS, QUERY_SEAL_KEYS
+
+        for name, query in QUERY_MATRIX_APPS.items():
+            spec = get_app(name).strategy_spec("sealed")
+            assert spec.seals == {"c": [QUERY_SEAL_KEYS[query]]}
+            assert spec.run_params["seal_key"] == QUERY_SEAL_KEYS[query]
+
+    def test_ordered_plan_installs_the_sequencer_at_report(self):
+        from repro.api import get_app
+        from repro.core.strategy import OrderedStrategy
+
+        plan = get_app("q-poor").plan("ordered")
+        strategy = plan.strategy_for("Report")
+        assert isinstance(strategy, OrderedStrategy)
+        assert strategy.topic == "report.inputs"
+        assert plan.uses_global_order
+
+    def test_runner_maps_sealed_to_the_seal_regime(self):
+        from repro.api import get_app
+
+        outcome = get_app("q-window").run("sealed", seed=3)
+        assert outcome.result.strategy == "seal"
+        assert outcome.metrics["processed"] == outcome.metrics["total_entries"]
+        assert outcome.metrics["replicas_agree"]

@@ -9,10 +9,15 @@ import pytest
 from repro.chaos import (
     audit_campaign,
     campaign_is_sound,
+    campaign_tightness,
     default_schedules,
     demonstrated_anomalies,
     harness_for,
+    matrix_apps,
+    matrix_is_expected,
+    matrix_summary,
     render_audit,
+    render_matrix,
 )
 from repro.chaos.oracle import ObservedLabel
 from repro.errors import SimulationError
@@ -30,6 +35,8 @@ def test_campaign_covers_the_required_grid():
     report = smoke_report()
     apps = {result.params["app"] for result in report}
     assert {"wordcount", "adnet", "kvs"} <= apps
+    # the Figure 6 query apps ride in the default sweep too
+    assert set(matrix_apps()) <= apps
     for app in apps:
         rows = report.select(app=app)
         strategies = {r.params["strategy"] for r in rows}
@@ -37,6 +44,13 @@ def test_campaign_covers_the_required_grid():
         assert len(strategies) >= 2, app
         assert len(schedules) >= 3, app
     assert all(result["runs"] == len(SEEDS) for result in report)
+
+
+def test_ordered_strategy_swept_for_sequencer_apps():
+    report = smoke_report()
+    for app in ("adnet", "kvs", *matrix_apps()):
+        strategies = {r.params["strategy"] for r in report.select(app=app)}
+        assert "ordered" in strategies, app
 
 
 def test_campaign_is_sound():
@@ -89,12 +103,93 @@ def test_evidence_accompanies_every_anomalous_cell():
             assert result["evidence"], result.name
 
 
+class TestTightness:
+    """Per-cell tightness: observed == predicted, not merely <=."""
+
+    def test_every_cell_carries_the_metric(self):
+        for result in smoke_report():
+            assert isinstance(result["tight"], bool), result.name
+            assert result["tight"] == (
+                result["observed_severity"] == result["predicted_severity"]
+            ), result.name
+
+    def test_campaign_tightness_counts_cells(self):
+        report = smoke_report()
+        tight, total = campaign_tightness(report)
+        assert total == len(report)
+        assert tight == sum(1 for r in report if r["tight"])
+        # the labels are attained somewhere: the eager word count lives
+        # exactly at Run, the uncoordinated KVS exactly at Diverge, and
+        # the ordered KVS exactly at Async
+        assert any(
+            r["tight"] for r in report.select(app="wordcount", strategy="eager")
+        )
+        assert any(
+            r["tight"] for r in report.select(app="kvs", strategy="uncoordinated")
+        )
+        assert any(
+            r["tight"] for r in report.select(app="kvs", strategy="ordered")
+        )
+
+    def test_render_audit_reports_tightness(self):
+        text = render_audit(smoke_report())
+        tight, total = campaign_tightness(smoke_report())
+        assert f"tightness: {tight}/{total} cells" in text
+
+    def test_audit_to_dict_serializes_tightness(self):
+        from repro.core.report import audit_to_dict
+
+        payload = audit_to_dict(smoke_report())
+        tight, total = campaign_tightness(smoke_report())
+        assert payload["summary"]["tight_cells"] == tight
+        assert payload["summary"]["cells"] == total
+        assert payload["summary"]["sound"] is True
+        assert all("tight" in cell for cell in payload["cells"])
+        import json
+
+        json.dumps(payload)  # JSON-able end to end
+
+
+class TestQueryMatrix:
+    """The Figure 6 matrix folded out of the audit report."""
+
+    def test_matrix_summary_covers_the_grid(self):
+        summary = matrix_summary(smoke_report())
+        queries = {q for q, _ in summary}
+        strategies = {s for _, s in summary}
+        assert queries == {"THRESH", "POOR", "WINDOW", "CAMPAIGN"}
+        assert strategies == {"uncoordinated", "sealed", "ordered"}
+        for cell in summary.values():
+            assert cell["cells"] >= 4  # schedules per pair
+
+    def test_matrix_reproduces_figure6(self):
+        report = smoke_report()
+        assert matrix_is_expected(report), render_matrix(report)
+        summary = matrix_summary(report)
+        assert summary[("THRESH", "uncoordinated")]["consistent"]
+        for query in ("POOR", "WINDOW", "CAMPAIGN"):
+            assert not summary[(query, "uncoordinated")]["consistent"], query
+            assert summary[(query, "sealed")]["consistent"], query
+            assert summary[(query, "ordered")]["consistent"], query
+
+    def test_render_matrix_grid(self):
+        text = render_matrix(smoke_report())
+        assert "THRESH" in text and "ordered" in text
+        assert "matrix matches Figure 6" in text
+
+    def test_matrix_summary_ignores_non_matrix_apps(self):
+        report = audit_campaign(("kvs",), smoke=True, seeds=(7,))
+        assert matrix_summary(report) == {}
+        assert not matrix_is_expected(report)
+        assert "no query-matrix cells" in render_matrix(report)
+
+
 def test_schedule_subset_restricts_the_sweep():
     report = audit_campaign(
         ("kvs",), smoke=True, seeds=(7,), schedules=("baseline",)
     )
     assert {r.params["schedule"] for r in report} == {"baseline"}
-    assert len(report) == 2  # one per strategy
+    assert len(report) == 3  # one per strategy
 
 
 def test_render_audit_summarizes():

@@ -8,7 +8,7 @@ from repro.chaos.oracle import ObservedLabel, RunObservation, classify_runs
 from repro.core.labels import Async, Diverge, Inst, Run, Seal
 
 
-def obs(seed, committed, emitted=None, truth=None):
+def obs(seed, committed, emitted=None, truth=None, order=None):
     return RunObservation(
         seed=seed,
         committed={k: frozenset(v) for k, v in committed.items()},
@@ -16,6 +16,7 @@ def obs(seed, committed, emitted=None, truth=None):
             k: frozenset(v) for k, v in (emitted or committed).items()
         },
         truth=frozenset(truth) if truth is not None else None,
+        order=order,
     )
 
 
@@ -119,3 +120,59 @@ def test_describe_renders_evidence():
     text = classify_runs(runs).describe()
     assert text.startswith("observed Diverge")
     assert "seed 7" in text
+
+
+class TestOrderConditionedComparison:
+    """Cross-run ``Run`` judged conditional on the recorded order."""
+
+    def test_different_orders_exempt_cross_run_divergence(self):
+        # an ordered deployment legitimately commits different outputs
+        # under different sequencer orders: no Run anomaly
+        runs = [
+            obs(7, {"r0": ROWS}, order=("a", "b")),
+            obs(11, {"r0": ROWS | {("c", 3)}}, order=("b", "a")),
+        ]
+        assert classify_runs(runs).observed is ObservedLabel.EXACT
+
+    def test_same_order_must_agree(self):
+        # replay determinism: same decision log, same outputs — required
+        runs = [
+            obs(7, {"r0": ROWS}, order=("a", "b")),
+            obs(11, {"r0": ROWS | {("c", 3)}}, order=("a", "b")),
+        ]
+        verdict = classify_runs(runs)
+        assert verdict.observed is ObservedLabel.RUN
+        assert any(
+            "same recorded sequencer order" in line for line in verdict.evidence
+        )
+
+    def test_unordered_runs_keep_the_unconditional_comparison(self):
+        runs = [
+            obs(7, {"r0": ROWS}),
+            obs(11, {"r0": ROWS | {("c", 3)}}),
+        ]
+        assert classify_runs(runs).observed is ObservedLabel.RUN
+
+    def test_unordered_group_is_separate_from_ordered_runs(self):
+        # the None group still compares unconditionally; a lone ordered
+        # run has no partner and adds nothing
+        runs = [
+            obs(7, {"r0": ROWS}),
+            obs(11, {"r0": ROWS | {("c", 3)}}),
+            obs(13, {"r0": ROWS | {("d", 4)}}, order=("a",)),
+        ]
+        verdict = classify_runs(runs)
+        assert verdict.observed is ObservedLabel.RUN
+        assert not any(
+            "same recorded sequencer order" in line for line in verdict.evidence
+        )
+
+    def test_replica_checks_unaffected_by_order(self):
+        # ordering conditions only the cross-run block: replica
+        # disagreement within one ordered run is still Diverge
+        runs = [obs(7, {"r0": ROWS, "r1": frozenset()}, order=("a",))]
+        assert classify_runs(runs).observed is ObservedLabel.DIVERGE
+
+    def test_order_normalized_to_tuple(self):
+        run = obs(7, {"r0": ROWS}, order=["a", "b"])
+        assert run.order == ("a", "b")

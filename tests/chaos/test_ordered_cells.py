@@ -1,0 +1,125 @@
+"""Differential tests: ordered vs sealed audit cells, same seeds/schedules.
+
+The ordering strategy's contract, checked against the seal strategy on
+identical (workload, seed, schedule) cells:
+
+* ordered cells never observe ``Diverge``/``Inst`` (replica agreement via
+  state-machine replication) nor ``Run`` (cross-run comparison is
+  conditioned on each run's recorded sequencer order);
+* the recorded order really is the decision log: replaying it through a
+  pure fold reproduces every replica's committed state exactly (KVS), and
+  the query apps' committed tables equal ground truth under any order;
+* sealed cells on the same seeds are just as consistent — the two
+  mechanisms agree on the verdict while only the ordered one pays the
+  sequencer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import harness_for
+from repro.chaos.oracle import ObservedLabel, classify_runs
+
+SEEDS = (7, 11)
+
+# (app, schedules): the reorder/dup envelope of the reporting apps, the
+# reorder/partition envelope of the KVS
+CELLS = [
+    ("q-campaign", ("reorder-burst", "dup-burst")),
+    ("q-poor", ("reorder-burst", "dup-burst")),
+    ("kvs", ("reorder-burst", "split-link")),
+]
+
+
+def observations(app, strategy, schedule_name, seeds=SEEDS):
+    harness = harness_for(app, smoke=True)
+    schedule = harness.schedule_named(schedule_name)
+    return [harness.observe(strategy, schedule, seed) for seed in seeds]
+
+
+@pytest.mark.parametrize("app,schedules", CELLS)
+def test_ordered_never_observes_diverge_or_run(app, schedules):
+    for name in schedules:
+        verdict = classify_runs(observations(app, "ordered", name))
+        assert verdict.observed not in (
+            ObservedLabel.DIVERGE,
+            ObservedLabel.INST,
+            ObservedLabel.RUN,
+        ), (app, name, verdict.evidence)
+        assert verdict.observed.severity <= ObservedLabel.ASYNC.severity
+
+
+@pytest.mark.parametrize("app,schedules", CELLS)
+def test_sealed_matches_ordered_on_identical_cells(app, schedules):
+    sealed_name = "sealed" if app != "adnet" else "seal"
+    for name in schedules:
+        sealed = classify_runs(observations(app, sealed_name, name))
+        ordered = classify_runs(observations(app, "ordered", name))
+        assert sealed.observed.severity <= ObservedLabel.ASYNC.severity
+        assert ordered.observed.severity <= ObservedLabel.ASYNC.severity
+
+
+@pytest.mark.parametrize("app,schedules", CELLS)
+def test_only_ordered_cells_record_an_order(app, schedules):
+    sealed_name = "sealed" if app != "adnet" else "seal"
+    for name in schedules:
+        for obs in observations(app, "ordered", name):
+            assert obs.order, (app, name)
+        for obs in observations(app, sealed_name, name):
+            assert obs.order is None, (app, name)
+
+
+def test_each_seed_records_a_different_order():
+    """The sequencer picks a genuinely different total order per run —
+    the reason the naive cross-run comparison would misfire."""
+    runs = observations("kvs", "ordered", "reorder-burst", seeds=(7, 11, 13))
+    orders = [obs.order for obs in runs]
+    assert len(set(orders)) == len(orders)
+    # same submissions, different interleavings
+    assert len({frozenset(order) for order in orders}) == 1
+
+
+def _replay_kvs(order):
+    """Pure replay of the decision log: LWW winners fold, gets answered
+    against the current winner — the deterministic function the recorded
+    order makes every replica compute."""
+    winners: dict = {}
+    expected = set()
+    for kind, row in order:
+        if kind == "put":
+            key, val, ts = row
+            rank = (ts, val)
+            if winners.get(key) is None or rank > winners[key]:
+                winners[key] = rank
+        else:
+            reqid, key = row
+            if key in winners:
+                expected.add((reqid, key, winners[key][1]))
+    return frozenset(expected)
+
+
+def test_kvs_committed_state_is_the_replay_of_the_recorded_order():
+    for name in ("baseline", "reorder-burst", "split-link"):
+        for obs in observations("kvs", "ordered", name):
+            expected = _replay_kvs(obs.order)
+            for replica, committed in obs.committed.items():
+                assert committed == expected, (name, obs.seed, replica)
+
+
+def test_query_committed_tables_equal_truth_under_any_order():
+    """For the reporting apps the committed state is the input log, so it
+    must match ground truth regardless of which order the sequencer
+    picked — the per-order half of 'agrees with ground truth'."""
+    for name in ("reorder-burst", "dup-burst"):
+        for obs in observations("q-campaign", "ordered", name):
+            for replica, committed in obs.committed.items():
+                assert committed == obs.truth, (name, obs.seed, replica)
+
+
+def test_ordered_replicas_share_the_emitted_history():
+    """State-machine replication: same order, same evaluation points,
+    same outputs — even under a reorder burst."""
+    for obs in observations("q-poor", "ordered", "reorder-burst"):
+        histories = set(obs.emitted.values())
+        assert len(histories) == 1, obs.seed

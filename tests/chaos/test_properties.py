@@ -16,9 +16,13 @@ rows = st.frozensets(
 )
 replica_names = st.sampled_from([("r0",), ("r0", "r1"), ("r0", "r1", "r2")])
 
+# a small pool of recorded orders, so generated observation sets contain
+# both equal-order groups and the unordered (None) group
+orders = st.sampled_from([None, ("x", "y"), ("y", "x"), ("z",)])
+
 
 @st.composite
-def observations(draw, *, min_size=1, max_size=4):
+def observations(draw, *, min_size=1, max_size=4, with_orders=False):
     names = draw(replica_names)
     seeds = draw(
         st.lists(
@@ -35,7 +39,11 @@ def observations(draw, *, min_size=1, max_size=4):
         emitted = {name: draw(rows) for name in names}
         out.append(
             RunObservation(
-                seed=seed, committed=committed, emitted=emitted, truth=truth
+                seed=seed,
+                committed=committed,
+                emitted=emitted,
+                truth=truth,
+                order=draw(orders) if with_orders else None,
             )
         )
     return out
@@ -74,6 +82,81 @@ class TestOracleProperties:
     @given(observations(min_size=1, max_size=1))
     def test_single_run_never_reports_cross_run_anomalies(self, runs):
         verdict = classify_runs(runs)
+        assert not any("across seeds" in line for line in verdict.evidence)
+
+
+class TestOrderConditionedProperties:
+    """The order-conditioned oracle keeps the oracle's contract."""
+
+    @given(observations(with_orders=True))
+    def test_deterministic_and_permutation_invariant(self, runs):
+        assert classify_runs(runs) == classify_runs(list(reversed(runs)))
+        rotated = runs[1:] + runs[:1]
+        assert classify_runs(runs) == classify_runs(rotated)
+
+    @given(observations(with_orders=True), observations(with_orders=True))
+    def test_monotone_in_the_figure8_lattice(self, runs, extra):
+        seen = {obs.seed for obs in runs}
+        fresh = [obs for obs in extra if obs.seed not in seen]
+        before = classify_runs(runs).observed.severity
+        after = classify_runs(runs + fresh).observed.severity
+        assert after >= before
+
+    @given(observations(with_orders=True))
+    def test_invariant_under_relabeling_of_sequencer_orders(self, runs):
+        """The verdict uses orders only through their equality partition:
+        renaming every distinct order (a bijection) changes nothing."""
+        fresh_names = {}
+
+        def relabel(order):
+            if order is None:
+                return None
+            if order not in fresh_names:
+                fresh_names[order] = ("relabeled", len(fresh_names))
+            return fresh_names[order]
+
+        relabeled = [
+            RunObservation(
+                seed=obs.seed,
+                committed=obs.committed,
+                emitted=obs.emitted,
+                truth=obs.truth,
+                order=relabel(obs.order),
+            )
+            for obs in runs
+        ]
+        assert classify_runs(runs) == classify_runs(relabeled)
+
+    @given(observations(min_size=2, max_size=4, with_orders=True))
+    def test_dropping_orders_never_lowers_severity(self, runs):
+        """Conditioning can only *exempt* comparisons: stripping the
+        orders (one big unconditional group) is at least as severe."""
+        stripped = [
+            RunObservation(
+                seed=obs.seed,
+                committed=obs.committed,
+                emitted=obs.emitted,
+                truth=obs.truth,
+            )
+            for obs in runs
+        ]
+        conditioned = classify_runs(runs).observed.severity
+        unconditional = classify_runs(stripped).observed.severity
+        assert unconditional >= conditioned
+
+    @given(observations(with_orders=True))
+    def test_all_distinct_orders_report_no_cross_run_anomaly(self, runs):
+        distinct = [
+            RunObservation(
+                seed=obs.seed,
+                committed=obs.committed,
+                emitted=obs.emitted,
+                truth=obs.truth,
+                order=("unique", index),
+            )
+            for index, obs in enumerate(runs)
+        ]
+        verdict = classify_runs(distinct)
         assert not any("across seeds" in line for line in verdict.evidence)
 
 

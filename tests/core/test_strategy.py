@@ -7,13 +7,21 @@ from repro.core import (
     CW,
     OR,
     OW,
+    Async,
     Dataflow,
+    Diverge,
     FDSet,
+    Inst,
     NoCoordination,
+    OrderedStrategy,
     OrderStrategy,
+    Run,
+    Seal,
     SealStrategy,
     analyze,
     choose_strategies,
+    label_under_ordering,
+    ordered_plan,
 )
 
 
@@ -108,3 +116,32 @@ def test_plan_describe_lists_every_component():
     result = analyze(one_component_flow(OW("k")))
     plan = choose_strategies(result)
     assert "ordered delivery at C" in plan.describe()
+
+
+class TestOrderedPlan:
+    """The imposed-ordering plan (deployment-chosen Section V-B2)."""
+
+    def test_order_sensitive_component_gets_ordered_strategy(self):
+        # even with a compatible seal available, an ordered deployment
+        # routes through the sequencer — it never needs the seal key
+        result = analyze(one_component_flow(OW("k"), seal=["k"]))
+        plan = ordered_plan(result, topic="t.inputs")
+        strategy = plan.strategy_for("C")
+        assert isinstance(strategy, OrderedStrategy)
+        assert strategy.streams == ("in",)
+        assert strategy.topic == "t.inputs"
+        assert "sequencer-ordered delivery installed at C" in strategy.describe()
+        assert plan.uses_global_order
+        assert plan.coordinated_components == ("C",)
+
+    def test_confluent_component_still_needs_nothing(self):
+        result = analyze(one_component_flow(CR()))
+        plan = ordered_plan(result)
+        assert isinstance(plan.strategy_for("C"), NoCoordination)
+        assert not plan.uses_global_order
+
+    def test_label_under_ordering_caps_at_async(self):
+        for label in (Run(), Inst(), Diverge()):
+            assert label_under_ordering(label) == Async()
+        for label in (Async(), Seal("k")):
+            assert label_under_ordering(label) == label

@@ -133,3 +133,130 @@ def test_reorder_window_scales_and_restores_jitter():
     sim.run()
     assert observed["during"].jitter == baseline.jitter * 50.0
     assert observed["after"] == baseline
+
+
+def test_overlapping_reorder_windows_restore_baseline():
+    """Regression: the old capture-and-restore scheme re-imposed the
+    first window's inflation forever once a second window overlapped."""
+    sim, network, a, b = build()
+    baseline = network.latency
+    injector = FailureInjector(network)
+    injector.reorder_window(at=1.0, duration=2.0, factor=10.0)  # [1, 3)
+    injector.reorder_window(at=2.0, duration=2.0, factor=4.0)  # [2, 4)
+    observed = {}
+    sim.schedule_at(2.5, lambda: observed.setdefault("both", network.latency))
+    sim.schedule_at(3.5, lambda: observed.setdefault("second", network.latency))
+    sim.schedule_at(4.5, lambda: observed.setdefault("after", network.latency))
+    sim.run()
+    # the strongest open window governs, relative to the *baseline*
+    assert observed["both"].jitter == baseline.jitter * 10.0
+    assert observed["second"].jitter == baseline.jitter * 4.0
+    assert observed["after"] == baseline
+
+
+def test_overlapping_loss_and_dup_windows_restore_baseline():
+    sim, network, a, b = build()
+    injector = FailureInjector(network)
+    injector.loss_window(at=1.0, duration=2.0, drop_prob=1.0)
+    injector.loss_window(at=2.0, duration=2.0, drop_prob=0.5)
+    injector.duplicate_window(at=1.0, duration=2.0, dup_prob=1.0)
+    injector.duplicate_window(at=2.0, duration=2.0, dup_prob=0.5)
+    observed = {}
+    sim.schedule_at(
+        2.5,
+        lambda: observed.setdefault("both", (network.drop_prob, network.dup_prob)),
+    )
+    sim.schedule_at(
+        3.5,
+        lambda: observed.setdefault("second", (network.drop_prob, network.dup_prob)),
+    )
+    sim.run()
+    assert observed["both"] == (1.0, 1.0)
+    assert observed["second"] == (0.5, 0.5)
+    assert network.drop_prob == 0.0
+    assert network.dup_prob == 0.0
+
+
+def test_reliable_sequencer_submissions_survive_reorder_plus_partition():
+    """Regression for sequencer traffic under composite faults: reliable
+    zk submissions crossing a partitioned link *during* a reorder burst
+    are delayed (retried with the inflated latency), never lost, and the
+    sequencer still assigns every value exactly one slot."""
+    from repro.coord.zookeeper import install_zookeeper
+    from repro.sim import LatencyModel, Network, Process, Simulator
+
+    class Submitter(Process):
+        def recv(self, msg):
+            raise AssertionError(f"unexpected {msg.kind}")
+
+    class Subscriber(Process):
+        def __init__(self, name):
+            super().__init__(name)
+            self.deliveries = []
+
+        def recv(self, msg):
+            self.deliveries.append(msg.payload)
+
+    sim = Simulator(seed=5)
+    network = Network(
+        sim,
+        latency=LatencyModel(base=0.001, jitter=0.002),
+        reliable_kinds=("zk.submit", "zk.deliver"),
+    )
+    zk = install_zookeeper(network)
+    submitter = Submitter("client")
+    subscriber = Subscriber("replica")
+    network.register(submitter)
+    network.register(subscriber)
+    zk.subscribe("t", "replica")
+    injector = FailureInjector(network)
+    injector.reorder_window(at=0.0, duration=0.3, factor=25.0)
+    injector.partition("client", "zookeeper", at=0.05, duration=0.2)
+    for index in range(20):
+        sim.schedule_at(
+            0.01 * index,
+            lambda i=index: submitter.send("zookeeper", "zk.submit", ("t", i)),
+        )
+    sim.run()
+    # every submission sequenced exactly once, a contiguous range of slots
+    assert network.latency.jitter == 0.002
+    assert zk.stats.submits == 20
+    seqs = sorted(seq for _topic, seq, _value in subscriber.deliveries)
+    assert seqs == list(range(20))
+    assert sorted(zk.committed_order("t")) == list(range(20))
+    assert network.retried > 0
+
+
+def test_permanent_crash_times_the_session_out_instead_of_hanging():
+    """A crash with no recovery must end in visible loss, not a retry
+    loop that keeps the simulator from ever quiescing."""
+    sim = Simulator(seed=3)
+    network = Network(
+        sim, reliable_kinds=("tcp",), retry_crashed=True, retry_limit=20
+    )
+    a, b = Echo("a"), Echo("b")
+    network.register(a)
+    network.register(b)
+    FailureInjector(network).crash("b", at=0.0)  # never recovers
+    sim.schedule_at(0.5, lambda: a.send("b", "tcp", "session"))
+    sim.run()  # terminates
+    assert b.got == []
+    assert network.retried == 20
+    assert network.dropped == 1
+
+
+def test_crashed_destination_retries_reliable_kinds_when_enabled():
+    sim = Simulator(seed=3)
+    network = Network(sim, reliable_kinds=("tcp",), retry_crashed=True)
+    a, b = Echo("a"), Echo("b")
+    network.register(a)
+    network.register(b)
+    injector = FailureInjector(network)
+    injector.crash_for("b", at=0.0, duration=1.0)
+    sim.schedule_at(0.5, lambda: a.send("b", "tcp", "session"))
+    sim.schedule_at(0.5, lambda: a.send("b", "data", "datagram"))
+    sim.run()
+    # the session resumes after the peer restarts; the datagram is gone
+    assert b.got == ["session"]
+    assert network.retried > 0
+    assert network.dropped == 1

@@ -215,6 +215,46 @@ def test_audit_subcommand_no_report(tmp_path, monkeypatch, capsys):
     assert not list(tmp_path.iterdir())
 
 
+def test_audit_matrix_subcommand(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+    assert main(["audit", "--matrix", "--smoke", "--seeds", "7", "11"]) == 0
+    out = capsys.readouterr().out
+    assert "matrix matches Figure 6" in out
+    assert "q-thresh/uncoordinated/baseline" in out
+    assert "tightness:" in out
+    report = (tmp_path / "BENCH_fig6-matrix-smoke.json").read_text()
+    assert "consistent" in report
+
+
+def test_audit_matrix_rejects_apps_flag(capsys):
+    assert main(["audit", "--matrix", "--apps", "kvs"]) == 1
+    assert "--matrix" in capsys.readouterr().err
+
+
+def test_audit_json_reports_summary(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+    assert main([
+        "audit", "--smoke", "--apps", "kvs", "--seeds", "7",
+        "--no-report", "--json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["sound"] is True
+    assert {"tight_cells", "tightness", "anomalies"} <= set(payload["summary"])
+    assert all("predicted" in cell for cell in payload["cells"])
+
+
+def test_plan_uses_the_apps_ordered_plan(capsys):
+    assert main(["plan", "q-poor", "--strategy", "ordered", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    kinds = {s["component"]: s["kind"] for s in payload["strategies"]}
+    assert kinds == {"Report": "ordered", "Cache": "none"}
+    assert payload["uses_global_order"] is True
+    assert main(["plan", "q-poor", "--strategy", "sealed", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    kinds = {s["component"]: s["kind"] for s in payload["strategies"]}
+    assert kinds["Report"] == "seal"
+
+
 def test_parser_rejects_unknown_strategy():
     parser = build_parser()
     with pytest.raises(SystemExit):
