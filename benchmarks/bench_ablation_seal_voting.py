@@ -13,7 +13,7 @@ from __future__ import annotations
 import statistics
 
 from repro.coord import SealManager, SealedStreamProducer
-from repro.sim import LatencyModel, Network, Process, Simulator
+from repro.sim import LatencyModel, Network, Process, make_simulator
 
 PRODUCER_COUNTS = (1, 2, 5, 10)
 PARTITIONS = 30
@@ -44,7 +44,7 @@ class Consumer(Process):
 
 
 def run_vote(n_producers: int, seed: int = 0):
-    sim = Simulator(seed=seed)
+    sim = make_simulator(seed=seed)
     network = Network(sim, latency=LatencyModel(base=0.001, jitter=0.005))
     producers = [Producer(f"p{i}") for i in range(n_producers)]
     consumer = Consumer("c", frozenset(p.name for p in producers))

@@ -35,6 +35,7 @@ from repro.bloom.cluster import INSERT_MSG, ZK_KINDS, BloomCluster, BloomNode
 from repro.bloom.rewrite import OrderedInputAdapter, SealedInputAdapter
 from repro.coord.assignment import ReplicaAssignment
 from repro.coord.sealing import DATA as SEAL_DATA
+from repro.coord.sealing import FRAME as SEAL_FRAME
 from repro.coord.sealing import PUNCT as SEAL_PUNCT
 from repro.coord.sealing import SealedStreamProducer
 from repro.coord.zookeeper import ZkClient, install_zookeeper
@@ -72,6 +73,16 @@ class AdWorkload:
     hash-partition across a server's replicas, and the seal registry's
     producer sets are derived from the resulting replica assignment
     instead of assuming one task per server.
+
+    ``frames`` turns on frame-level delivery: each burst ships as one
+    message per destination (uncoordinated inserts batch per reporting
+    node; seal producers buffer ``batch_size`` records per frame), so the
+    simulated event count scales with bursts instead of clicks.  The
+    committed state and oracle verdicts are unchanged — only message
+    granularity moves — but delivery interleavings differ from the
+    per-record default, so seeded expectations are only comparable within
+    one setting.  This is what lets the full fig12/fig13 sweeps reach 50+
+    servers at 10k+ entries each.
     """
 
     ad_servers: int = 5
@@ -83,6 +94,7 @@ class AdWorkload:
     requests: int = 12
     report_replicas: int = 3
     producer_replicas: int = 1
+    frames: bool = False
 
     @property
     def total_entries(self) -> int:
@@ -167,9 +179,10 @@ class AdServer(Process):
         )
         self._producers: dict[tuple[str, str], SealedStreamProducer] = {}
         if strategy in ("seal", "independent-seal"):
+            frame_size = workload.batch_size if workload.frames else 1
             self._producers = {
                 (node, task): SealedStreamProducer(
-                    self, CLICK_STREAM, producer_id=task
+                    self, CLICK_STREAM, producer_id=task, frame_size=frame_size
                 )
                 for node in report_nodes
                 for task in self.assignment.tasks_of(name)
@@ -224,12 +237,24 @@ class AdServer(Process):
         end = min(self._cursor + self.workload.batch_size, len(self._entries))
         batch = self._entries[self._cursor:end]
         boundary_partitions = self._partition_boundaries(self._cursor, end)
-        for row in batch:
-            self._dispatch(row)
+        if self.workload.frames and self.strategy == "uncoordinated" and batch:
+            # frame-level delivery: the whole burst rides one insert
+            # message per reporting node instead of one per click
+            rows = list(batch)
+            for node in self.report_nodes:
+                self.send(node, INSERT_MSG, ("click", rows))
+        else:
+            for row in batch:
+                self._dispatch(row)
         self.sent += len(batch)
         self._cursor = end
         for partition in boundary_partitions:
             self._seal_partition(partition)
+        if self.workload.frames:
+            # ship partial trailing frames so progress tracks bursts, not
+            # whenever the next seal happens to flush the channel
+            for (node, _task), producer in self._producers.items():
+                producer.flush(node)
         if self._cursor < len(self._entries):
             self.after(self.workload.sleep, self._burst)
         elif self._producers:
@@ -338,11 +363,13 @@ class AdNetworkResult:
     ) -> list[tuple[float, int]]:
         """Cumulative processed-record count over time (Figures 12-14)."""
         source = node or self.report_nodes[0]
-        return self.cluster.trace.timeline(f"processed:{source}", bucket=bucket)
+        return self.cluster.trace.timeline(
+            f"processed:{source}", bucket=bucket, weighted=True
+        )
 
     def processed_count(self, node: str | None = None) -> int:
         source = node or self.report_nodes[0]
-        return self.cluster.trace.count(f"processed:{source}")
+        return self.cluster.trace.total(f"processed:{source}")
 
     def responses(self, node: str) -> frozenset[tuple]:
         """Every response a replica ever emitted."""
@@ -441,7 +468,7 @@ def run_ad_network(
     workload_seed = seed if workload_seed is None else workload_seed
     seal_column = SEAL_COLUMNS[seal_key]
     reliable_kinds = ZK_KINDS + (
-        (SEAL_DATA, SEAL_PUNCT, INSERT_MSG) if reliable_sessions else ()
+        (SEAL_DATA, SEAL_FRAME, SEAL_PUNCT, INSERT_MSG) if reliable_sessions else ()
     )
     cluster = BloomCluster(
         seed=seed,
@@ -580,14 +607,23 @@ def _campaign_assignment(
 
 
 def _attach_processed_probe(cluster: BloomCluster, node: BloomNode) -> None:
-    """Record one trace event per click record that becomes visible."""
+    """Record the click records that became visible, one event per tick.
+
+    The record's ``data`` is the tick's *delta* (an integer weight — see
+    :meth:`repro.sim.trace.Trace.total`), and the table size comes from
+    the runtime's O(1) cardinality, so the probe costs the same on a
+    10k-row table as on an empty one.
+    """
     state = {"seen": 0}
 
     def probe(_outputs) -> None:
-        size = len(node.runtime.read("clicks"))
-        for _ in range(size - state["seen"]):
-            cluster.trace.record(node.now, node.name, f"processed:{node.name}")
-        state["seen"] = size
+        size = node.runtime.count("clicks")
+        delta = size - state["seen"]
+        if delta > 0:
+            cluster.trace.record(
+                node.now, node.name, f"processed:{node.name}", delta
+            )
+            state["seen"] = size
 
     node.on_tick = probe
 

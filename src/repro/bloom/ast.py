@@ -710,8 +710,15 @@ class GroupBy(Node):
                      None if col is None else self.child._index(col))
                     for _out, agg_name, col in self.aggs
                 ],
+                # ``count`` is the one aggregate with an O(1) streaming
+                # form: the bucket is a set, so the count IS len(bucket)
+                # — exact under duplicates and retractions alike.  Other
+                # aggregates (notably float ``sum``) stay on the
+                # re-aggregate path: an incremental accumulator would
+                # drift from the naive engine's recompute.
+                all(agg_name == "count" for _out, agg_name, _col in self.aggs),
             )
-        key_idx, agg_fns = cols
+        key_idx, agg_fns, count_only = cols
         groups = st.setdefault("groups", {})   # key -> set of child rows
         out_rows = st.setdefault("out", {})    # key -> current output row
         # only rows of *touched* groups are re-aggregated; untouched
@@ -732,13 +739,16 @@ class GroupBy(Node):
             rows = groups.get(key)
             old = out_rows.get(key)
             if rows:
-                values = []
-                for fn, col in agg_fns:
-                    if col is None:
-                        values.append(fn(list(rows)))
-                    else:
-                        values.append(fn([row[col] for row in rows]))
-                new = key + tuple(values)
+                if count_only:
+                    new = key + (len(rows),) * len(agg_fns)
+                else:
+                    values = []
+                    for fn, col in agg_fns:
+                        if col is None:
+                            values.append(fn(list(rows)))
+                        else:
+                            values.append(fn([row[col] for row in rows]))
+                    new = key + tuple(values)
             else:
                 new = None
                 groups.pop(key, None)

@@ -21,7 +21,7 @@ from repro.bloom.module import BloomModule
 from repro.bloom.runtime import BloomRuntime
 from repro.coord.zookeeper import ZK_KINDS
 from repro.errors import BloomError
-from repro.sim.events import Simulator
+from repro.sim.events import make_simulator
 from repro.sim.network import LatencyModel, Message, Network, Process
 from repro.sim.trace import Trace
 
@@ -50,7 +50,7 @@ class BloomNode(Process):
         self.outputs_log: dict[str, set[tuple]] = {
             decl.name: set() for decl in module.outputs
         }
-        self._tick_scheduled = False
+        self._wake = None
         self._plugins: list[Callable[[Message], bool]] = []
         self.on_tick: Callable[[dict[str, frozenset[tuple]]], None] | None = None
 
@@ -90,13 +90,15 @@ class BloomNode(Process):
         self.schedule_tick()
 
     def schedule_tick(self) -> None:
-        if self._tick_scheduled:
-            return
-        self._tick_scheduled = True
-        self.after(self.tick_delay, self._do_tick)
+        # A kernel wakeup, not a heap entry per call: arming an armed
+        # waker is a no-op, so an idle node costs nothing and a busy one
+        # coalesces any number of deliveries into the next tick.
+        wake = self._wake
+        if wake is None:
+            wake = self._wake = self.sim.waker(self.tick_delay, self._do_tick)
+        wake.arm()
 
     def _do_tick(self) -> None:
-        self._tick_scheduled = False
         # quiescence fast path: a tick whose only pending input is
         # redundant (e.g. duplicated deliveries of rows a table already
         # holds) is skipped outright instead of re-running the fixpoint
@@ -143,7 +145,7 @@ class BloomCluster:
         reliable_kinds: Iterable[str] = ZK_KINDS,
         retry_crashed: bool = False,
     ) -> None:
-        self.sim = Simulator(seed=seed)
+        self.sim = make_simulator(seed=seed)
         self.network = Network(
             self.sim,
             latency=latency or LatencyModel(base=0.001, jitter=0.003),

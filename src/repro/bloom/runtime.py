@@ -294,6 +294,16 @@ class BloomRuntime:
         self.module.declaration(collection)
         return frozenset(self.storage[collection])
 
+    def count(self, collection: str) -> int:
+        """Cardinality of a collection without snapshotting it.
+
+        ``len(read(...))`` copies the whole collection into a frozenset;
+        per-tick probes over large tables (the fig12 processed-records
+        probe) need the O(1) answer.
+        """
+        self.module.declaration(collection)
+        return len(self.storage[collection])
+
     def strata(self) -> tuple[tuple[Rule, ...], ...]:
         """The stratified instantaneous program (for tests/inspection)."""
         return tuple(

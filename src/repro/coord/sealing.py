@@ -32,12 +32,14 @@ from repro.coord.ordering import OrderedInbox
 from repro.coord.zookeeper import ZkClient
 from repro.errors import SimulationError
 
-__all__ = ["SealedStreamProducer", "SealManager", "DATA", "PUNCT"]
+__all__ = ["SealedStreamProducer", "SealManager", "DATA", "PUNCT", "FRAME"]
 
 DATA = "seal.data"
 PUNCT = "seal.punct"
+FRAME = "seal.frame"
 
 _SEAL_MARK = object()
+_FRAME_MARK = object()
 
 Partition = Hashable
 
@@ -55,15 +57,35 @@ class SealedStreamProducer:
     the process name but may identify one *task replica* of a scaled-out
     component (see :class:`repro.coord.assignment.ReplicaAssignment`), so
     a single simulated process can host several protocol-level producers.
+
+    ``frame_size`` > 1 turns on frame-level delivery: records buffer
+    locally and ship as one :data:`FRAME` message per ``frame_size``
+    records (per destination), cutting the simulated event count by that
+    factor.  Frames ride the same per-destination sequence space as
+    punctuations, and :meth:`seal` flushes before punctuating, so the
+    protocol's ordering guarantee is untouched.  Callers that stop
+    producing without sealing must :meth:`flush` to push out a partial
+    trailing frame.
     """
 
-    def __init__(self, process, stream: str, *, producer_id: str | None = None) -> None:
+    def __init__(
+        self,
+        process,
+        stream: str,
+        *,
+        producer_id: str | None = None,
+        frame_size: int = 1,
+    ) -> None:
+        if frame_size < 1:
+            raise SimulationError(f"frame_size must be >= 1, got {frame_size}")
         self.process = process
         self.stream = stream
         self.producer_id = producer_id if producer_id is not None else process.name
+        self.frame_size = frame_size
         self._sealed: set[Partition] = set()
         self._open: set[Partition] = set()
         self._chan_seq: dict[str, int] = {}
+        self._frames: dict[str, list[tuple[Partition, Any]]] = {}
 
     def _next_seq(self, dst: str) -> int:
         seq = self._chan_seq.get(dst, 0)
@@ -78,14 +100,39 @@ class SealedStreamProducer:
                 f"{partition!r} on stream {self.stream}"
             )
         self._open.add(partition)
+        if self.frame_size > 1:
+            frame = self._frames.setdefault(dst, [])
+            frame.append((partition, record))
+            if len(frame) >= self.frame_size:
+                self.flush(dst)
+            return
         self.process.send(
             dst,
             DATA,
             (self.stream, self._next_seq(dst), partition, record, self.producer_id),
         )
 
+    def flush(self, dst: str | None = None) -> None:
+        """Ship any buffered frame (all destinations when ``dst`` is None)."""
+        if dst is None:
+            for buffered in sorted(self._frames):
+                self.flush(buffered)
+            return
+        frame = self._frames.get(dst)
+        if not frame:
+            return
+        self._frames[dst] = []
+        self.process.send(
+            dst,
+            FRAME,
+            (self.stream, self._next_seq(dst), tuple(frame), self.producer_id),
+        )
+
     def seal(self, dst: str, partition: Partition) -> None:
         """Punctuate: promise no more records for ``partition``."""
+        # the punctuation must carry a higher channel seq than every
+        # record it covers, so any partial frame ships first
+        self.flush(dst)
         self._sealed.add(partition)
         self._open.discard(partition)
         self.process.send(
@@ -170,6 +217,12 @@ class SealManager:
                 return False
             self._channel(producer).offer(seq, (partition, _SEAL_MARK, producer))
             return True
+        if msg.kind == FRAME:
+            stream, seq, items, producer = msg.payload
+            if stream != self.stream:
+                return False
+            self._channel(producer).offer(seq, (_FRAME_MARK, items, producer))
+            return True
         return False
 
     def _channel(self, producer: str) -> "OrderedInbox":
@@ -183,6 +236,9 @@ class SealManager:
         partition, record, producer = item
         if record is _SEAL_MARK:
             self.on_seal(partition, producer)
+        elif partition is _FRAME_MARK:
+            for part, rec in record:
+                self.on_data(part, rec, producer)
         else:
             self.on_data(partition, record, producer)
 

@@ -5,16 +5,36 @@ This package stands in for the paper's EC2 testbed (see DESIGN.md section
 with configurable latency/loss/duplication, execution traces, and fault
 injection.  All higher substrates (:mod:`repro.coord`, :mod:`repro.storm`,
 :mod:`repro.bloom`) run on top of it.
+
+Two kernels implement the same scheduling semantics: the high-throughput
+default (:mod:`repro.sim.events`) and the seed scheduler retained as the
+executable reference (:mod:`repro.sim.events_ref`).  ``REPRO_SIM_KERNEL``
+selects between them through :func:`make_simulator`; the differential
+suite in ``tests/sim/test_kernel_equivalence.py`` holds them to identical
+traces.
 """
 
-from repro.sim.events import EventHandle, Simulator
+from repro.sim.events import (
+    KERNELS,
+    EventHandle,
+    Simulator,
+    Waker,
+    kernel_name,
+    make_simulator,
+)
 from repro.sim.failure import FailureInjector
 from repro.sim.network import LatencyModel, Message, Network, Process
+from repro.sim.profile import SimProfiler
 from repro.sim.trace import Trace, TraceRecord, merge_traces
 
 __all__ = [
     "EventHandle",
     "Simulator",
+    "Waker",
+    "KERNELS",
+    "kernel_name",
+    "make_simulator",
+    "SimProfiler",
     "FailureInjector",
     "LatencyModel",
     "Message",

@@ -45,12 +45,12 @@ class FailureInjector:
     def crash(self, process_name: str, at: float) -> None:
         """Crash ``process_name`` at virtual time ``at``."""
         process = self.network.process(process_name)
-        self.network.sim.schedule_at(at, lambda: self._do_crash(process))
+        self.network.sim.post_at(at, self._do_crash, process)
 
     def recover(self, process_name: str, at: float) -> None:
         """Recover ``process_name`` at virtual time ``at``."""
         process = self.network.process(process_name)
-        self.network.sim.schedule_at(at, lambda: self._do_recover(process))
+        self.network.sim.post_at(at, self._do_recover, process)
 
     def crash_for(self, process_name: str, at: float, duration: float) -> None:
         """Crash then recover after ``duration``."""

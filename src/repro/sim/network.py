@@ -207,7 +207,7 @@ class Network:
             self._uid += 1
             msg = Message(src, dst, kind, payload, self.sim.now, self._uid)
             delay = self.latency.sample(self.sim.rng)
-            self.sim.schedule(delay, lambda m=msg: self._deliver(m))
+            self.sim.post(delay, self._deliver, msg)
 
     def _deliver(self, msg: Message, attempt: int = 0) -> None:
         if (msg.src, msg.dst) in self._blocked_links:
@@ -231,6 +231,9 @@ class Network:
             self.dropped += 1
             return
         self.delivered += 1
+        profiler = self.sim.profiler
+        if profiler is not None:
+            profiler._note_message(msg.kind)
         for observer in self._observers:
             observer(msg)
         process.recv(msg)
@@ -243,4 +246,4 @@ class Network:
             return
         self.retried += 1
         delay = self.latency.base + self.latency.sample(self.sim.rng)
-        self.sim.schedule(delay, lambda m=msg, a=attempt: self._deliver(m, a + 1))
+        self.sim.post(delay, self._deliver, msg, attempt + 1)

@@ -4,6 +4,14 @@ A :class:`Trace` is an append-only log of ``(time, source, event, data)``
 records.  Benchmarks use traces to build the "records processed over time"
 series of the paper's Figures 12-14; tests use them to assert on delivery
 and processing orders.
+
+Records are stored internally as plain tuples and materialized into
+:class:`TraceRecord` objects only when a query reads them back — at
+paper scale a run appends hundreds of thousands of records, and the hot
+path must not pay a dataclass construction per append.  High-rate
+sources may also *aggregate*: one record per batch whose ``data`` is an
+integer weight (how many underlying items it stands for), read back
+through :meth:`Trace.total` and ``timeline(..., weighted=True)``.
 """
 
 from __future__ import annotations
@@ -25,21 +33,26 @@ class TraceRecord:
     data: Any = None
 
 
+def _weight(data: Any) -> int:
+    """The number of items a record stands for (1 unless data is an int)."""
+    return data if type(data) is int else 1
+
+
 class Trace:
     """An append-only, queryable event log."""
 
     def __init__(self) -> None:
-        self._records: list[TraceRecord] = []
+        self._rows: list[tuple[float, str, str, Any]] = []
 
     def record(self, time: float, source: str, event: str, data: Any = None) -> None:
         """Append one record (times must be supplied by the simulator)."""
-        self._records.append(TraceRecord(time, source, event, data))
+        self._rows.append((time, source, event, data))
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._rows)
 
     def __iter__(self):
-        return iter(self._records)
+        return (TraceRecord(*row) for row in self._rows)
 
     def select(
         self,
@@ -50,11 +63,12 @@ class Trace:
     ) -> list[TraceRecord]:
         """Filter records by event name, source, and/or predicate."""
         out = []
-        for record in self._records:
-            if event is not None and record.event != event:
+        for row in self._rows:
+            if event is not None and row[2] != event:
                 continue
-            if source is not None and record.source != source:
+            if source is not None and row[1] != source:
                 continue
+            record = TraceRecord(*row)
             if predicate is not None and not predicate(record):
                 continue
             out.append(record)
@@ -62,25 +76,43 @@ class Trace:
 
     def count(self, event: str) -> int:
         """Number of records with the given event name."""
-        return sum(1 for r in self._records if r.event == event)
+        return sum(1 for row in self._rows if row[2] == event)
 
-    def timeline(self, event: str, *, bucket: float = 1.0) -> list[tuple[float, int]]:
+    def total(self, event: str) -> int:
+        """Sum of record weights for ``event``.
+
+        A record whose ``data`` is an integer stands for that many items
+        (an aggregated batch); any other record counts as one.  For
+        unweighted events this equals :meth:`count`.
+        """
+        return sum(_weight(row[3]) for row in self._rows if row[2] == event)
+
+    def timeline(
+        self, event: str, *, bucket: float = 1.0, weighted: bool = False
+    ) -> list[tuple[float, int]]:
         """Cumulative count of ``event`` over time, sampled per bucket.
 
         Returns ``(bucket_end_time, cumulative_count)`` pairs — the series
-        plotted in the paper's Figures 12-14.
+        plotted in the paper's Figures 12-14.  With ``weighted=True`` each
+        record contributes its integer ``data`` weight (see :meth:`total`),
+        so aggregated probes produce the same series their per-item
+        predecessors did.
         """
-        times = sorted(r.time for r in self._records if r.event == event)
-        if not times:
+        points = sorted(
+            (row[0], _weight(row[3]) if weighted else 1)
+            for row in self._rows
+            if row[2] == event
+        )
+        if not points:
             return []
         series: list[tuple[float, int]] = []
-        horizon = times[-1]
+        horizon = points[-1][0]
         edge = bucket
         count = 0
         index = 0
         while edge < horizon + bucket:
-            while index < len(times) and times[index] <= edge:
-                count += 1
+            while index < len(points) and points[index][0] <= edge:
+                count += points[index][1]
                 index += 1
             series.append((edge, count))
             edge += bucket
@@ -94,26 +126,31 @@ class Trace:
         ``(seq, value)``), which the order-conditioned consistency oracle
         conditions its cross-run comparison on.
         """
-        return [r.data for r in self._records if r.event == event]
+        return [row[3] for row in self._rows if row[2] == event]
 
     def first(self, event: str) -> TraceRecord | None:
         """Earliest record with the given event name, if any."""
-        candidates = self.select(event=event)
-        return min(candidates, key=lambda r: r.time) if candidates else None
+        best = None
+        for row in self._rows:
+            if row[2] == event and (best is None or row[0] < best[0]):
+                best = row
+        return TraceRecord(*best) if best is not None else None
 
     def last(self, event: str) -> TraceRecord | None:
         """Latest record with the given event name, if any."""
-        candidates = self.select(event=event)
-        return max(candidates, key=lambda r: r.time) if candidates else None
+        best = None
+        for row in self._rows:
+            if row[2] == event and (best is None or row[0] > best[0]):
+                best = row
+        return TraceRecord(*best) if best is not None else None
 
 
 def merge_traces(traces: Iterable[Trace]) -> Trace:
     """Merge several traces into one, ordered by time."""
     merged = Trace()
-    records = sorted(
-        (record for trace in traces for record in trace),
-        key=lambda r: r.time,
+    rows = sorted(
+        (row for trace in traces for row in trace._rows),
+        key=lambda row: row[0],
     )
-    for record in records:
-        merged.record(record.time, record.source, record.event, record.data)
+    merged._rows.extend(rows)
     return merged

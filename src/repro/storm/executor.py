@@ -34,7 +34,7 @@ from repro.coord.ordering import OrderedInbox
 from repro.coord.zookeeper import ZK_KINDS
 from repro.errors import StormError
 from repro.sim.network import LatencyModel, Message, Network, Process
-from repro.sim.events import Simulator
+from repro.sim.events import make_simulator
 from repro.sim.trace import Trace
 from repro.storm.topology import Grouping, Topology
 from repro.storm.tuples import StormTuple
@@ -320,7 +320,7 @@ class _BoltTask(_TaskBase):
         src, batch, attempt, item = self._queue.popleft()
         # punctuations are control messages: near-free to process
         cost = self.exec_time if item[0] == "tuple" else self.cluster.config.punct_time
-        self.after(cost, lambda: self._service(src, batch, attempt, item))
+        self.sim.post(cost, self._service, src, batch, attempt, item)
 
     def _service(self, src: str, batch: int, attempt: int, item: tuple) -> None:
         kind = item[0]
@@ -454,7 +454,7 @@ class StormCluster:
         topology.validate()
         self.topology = topology
         self.config = config or ClusterConfig()
-        self.sim = Simulator(seed=self.config.seed)
+        self.sim = make_simulator(seed=self.config.seed)
         # Control-plane traffic (Zookeeper sessions, commit coordination)
         # rides TCP-backed sessions in real deployments: exempt from loss.
         reliable = ZK_KINDS + ("txn.ready", "txn.committed", "txn.reack")

@@ -115,3 +115,127 @@ def _draw_sequence(seed: int) -> list[float]:
     sim.schedule(0.0, draw)
     sim.run()
     return draws
+
+
+# ----------------------------------------------------------------------
+# pending accounting (regression: cancelled events used to count)
+# ----------------------------------------------------------------------
+def test_pending_excludes_cancelled_events():
+    sim = Simulator()
+    first = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending == 2
+    first.cancel()
+    # the cancelled event still sits in the heap awaiting lazy removal,
+    # but it will never fire — quiescence checks must not see it
+    assert sim.pending == 1
+    sim.run()
+    assert sim.pending == 0
+    assert sim.fired == 1
+
+
+def test_double_cancel_decrements_pending_once():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert sim.pending == 1
+
+
+def test_stale_handle_cancel_after_recycle_is_noop():
+    sim = Simulator()
+    fired = []
+    stale = sim.schedule(0.5, lambda: fired.append("a"))
+    sim.run()
+    # the fired event's pooled record is recycled into the next one; the
+    # stale handle must not be able to kill its successor
+    sim.schedule(1.0, lambda: fired.append("b"))
+    stale.cancel()
+    sim.run()
+    assert fired == ["a", "b"]
+    assert sim.fired == 2
+
+
+# ----------------------------------------------------------------------
+# fire-and-forget scheduling and wakers
+# ----------------------------------------------------------------------
+def test_post_fires_with_args():
+    sim = Simulator()
+    fired = []
+    sim.post(1.0, fired.append, "x")
+    sim.post(0.5, fired.append, "y")
+    sim.run()
+    assert fired == ["y", "x"]
+
+
+def test_post_at_absolute_time():
+    sim = Simulator()
+    fired = []
+    sim.post(1.0, lambda: sim.post_at(4.0, lambda: fired.append(sim.now)))
+    sim.run()
+    assert fired == [pytest.approx(4.0)]
+
+
+def test_post_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.post(-0.1, lambda: None)
+
+
+def test_waker_coalesces_arms():
+    sim = Simulator()
+    fired = []
+    wake = sim.waker(1.0, lambda: fired.append(sim.now))
+    wake.arm()
+    wake.arm()
+    wake.arm()
+    assert sim.pending == 1
+    sim.run()
+    assert fired == [pytest.approx(1.0)]
+
+
+def test_waker_rearms_from_its_own_fn():
+    sim = Simulator()
+    fired = []
+
+    def tick():
+        fired.append(sim.now)
+        if len(fired) < 3:
+            wake.arm()
+
+    wake = sim.waker(1.0, tick)
+    wake.arm()
+    sim.run()
+    assert fired == [pytest.approx(t) for t in (1.0, 2.0, 3.0)]
+
+
+def test_waker_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.waker(-1.0, lambda: None)
+
+
+# ----------------------------------------------------------------------
+# tick_delay float accumulation at long horizons
+# ----------------------------------------------------------------------
+def test_repeated_tick_delay_drift_is_bounded():
+    # A BloomNode waker re-arms at now + tick_delay every firing; with a
+    # binary-unrepresentable delay the clock accumulates one rounding per
+    # tick.  The drift after N ticks must stay far below the delay itself
+    # and the clock must never go backwards.
+    sim = Simulator()
+    delay = 0.0005  # not representable in base 2
+    ticks = 10_000
+    times = []
+
+    def tick():
+        times.append(sim.now)
+        if len(times) < ticks:
+            sim.post(delay, tick)
+
+    sim.post(delay, tick)
+    sim.run()
+    assert times == sorted(times)
+    drift = abs(sim.now - ticks * delay)
+    assert drift < 1e-9, f"accumulated {drift} over {ticks} ticks"
