@@ -123,9 +123,14 @@ def measure_strategy(
 def _measure_strategy_cached(
     servers: int, strategy: str, tier: str, seed: int
 ) -> dict:
+    from repro.obs.telemetry import Telemetry
+
     workload = TIERS[tier](servers)
+    # telemetry attached so every fig12/fig13 point embeds its coordcost
+    # block — the measured price of the strategy next to its latency
     outcome = get_app("adnet").run(
-        strategy, workload=workload, seed=seed, workload_seed=seed
+        strategy, workload=workload, seed=seed, workload_seed=seed,
+        telemetry=Telemetry(),
     )
     result = outcome.result
     return {

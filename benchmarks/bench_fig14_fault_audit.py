@@ -103,6 +103,30 @@ def test_fig14_uncoordinated_anomalies_appear():
     assert {"Run", "Diverge"} <= observed
 
 
+def test_fig14_coordcost_orders_strategies():
+    """Coordination-cost accounting: coordinated cells pay, others don't.
+
+    Every cell embeds an aggregated ``coordcost`` block; the adnet seal
+    and ordered strategies must show a strictly positive coordination
+    share while the uncoordinated deployment shows (essentially) none —
+    the measured half of the paper's consistency/latency trade-off.
+    """
+    report = run_audit()
+    shares: dict[str, list[float]] = {}
+    for result in report:
+        block = result["coordcost"]
+        assert block is not None, result.name
+        assert block["messages_sent"] > 0, result.name
+        strategy_key = f"{result.params['app']}/{result.params['strategy']}"
+        shares.setdefault(strategy_key, []).append(block["coordination_share"])
+    for cell in ("adnet/seal", "adnet/ordered", "kvs/ordered"):
+        assert cell in shares and min(shares[cell]) > 0.0, shares.get(cell)
+    for share in shares["adnet/uncoordinated"]:
+        assert share < 0.01, shares["adnet/uncoordinated"]
+    # ordering pays strictly more than sealing on the same app/workload
+    assert min(shares["adnet/ordered"]) > max(shares["adnet/seal"])
+
+
 def main(argv: list[str] | None = None) -> None:
     smoke = "--smoke" in (argv if argv is not None else sys.argv[1:])
     report = run_audit(smoke=smoke)

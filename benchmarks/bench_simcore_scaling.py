@@ -90,6 +90,10 @@ def measure_kernel(*, kernel: str, events: int) -> dict:
     """
     with _kernel(kernel):
         sim = make_simulator(seed=SEED)
+    # the zero-overhead-when-disabled contract: no hub is active, so the
+    # storm measures the bare kernel — the floor below holds with the
+    # telemetry layer fully detached
+    telemetry_detached = sim.telemetry is None
     budget = [events]
 
     def actor(tag: int) -> None:
@@ -111,6 +115,7 @@ def measure_kernel(*, kernel: str, events: int) -> dict:
         "heap_watermark": profiler.heap_watermark,
         "final_virtual_time": round(sim.now, 9),
         "pending": sim.pending,
+        "telemetry_detached": telemetry_detached,
     }
 
 
@@ -202,10 +207,20 @@ def test_kernels_agree_at_bench_scale():
 
 
 def test_smoke_events_per_second_floor():
-    """CI regression floor: fast-kernel storm throughput."""
+    """CI regression floor: fast-kernel storm throughput, hub detached.
+
+    The floor doubles as the zero-overhead-when-disabled check for the
+    telemetry layer: the storm must have run with no active hub (the
+    instrumentation sites reduce to one attribute load + None test), and
+    throughput must still clear the checked-in floor.
+    """
+    from repro.obs.telemetry import current
+
+    assert current() is None  # no hub leaks into the bench process
     report = run_simcore(smoke=True)
     for events in SMOKE_STORM_EVENTS:
         fast = report.one(mode="kernel", kernel="fast", events=events)
+        assert fast["telemetry_detached"]
         assert fast["events_per_second"] >= EVENTS_PER_SECOND_FLOOR, (
             f"{fast['events_per_second']:.0f} events/s below the "
             f"checked-in floor {EVENTS_PER_SECOND_FLOOR:.0f}"

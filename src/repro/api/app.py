@@ -90,6 +90,9 @@ class RunOutcome:
     metrics: dict[str, Any]
     result: Any
     cluster: Any
+    # The telemetry hub the run was instrumented with (None when the run
+    # was uninstrumented); carries the span tracker for rundirs/trace.
+    telemetry: Any = dataclasses.field(default=None, compare=False, repr=False)
 
     def to_dict(self) -> dict[str, Any]:
         """The JSON-serializable view of this outcome."""
@@ -483,6 +486,7 @@ class BlazesApp:
         *,
         seed: int = 0,
         smoke: bool = False,
+        telemetry: Any = None,
         **kwargs: Any,
     ) -> RunOutcome:
         """Execute the app under one strategy and return a :class:`RunOutcome`.
@@ -490,6 +494,14 @@ class BlazesApp:
         Keyword precedence, lowest to highest: app defaults, smoke
         defaults (when ``smoke=True``), the strategy's ``run_params``,
         then the caller's ``kwargs``.
+
+        ``telemetry`` opts the run into observability: the
+        :class:`repro.obs.Telemetry` hub is scoped around the runner (so
+        the cluster it builds reports through it) and the outcome's
+        metrics gain a ``coordcost`` block — plus a ``profile`` snapshot
+        when the hub carries a profiler.  Instrumentation is observe-only:
+        trace rows, virtual time, and events fired are byte-identical to
+        an uninstrumented run.
         """
         if self._runner is None:
             raise ApiError(f"app {self.name!r} declares no runner")
@@ -499,15 +511,38 @@ class BlazesApp:
             params.update(self._smoke_defaults)
         params.update(spec.run_params)
         params.update(kwargs)
-        metrics, result, cluster = self._runner(spec.name, seed=seed, **params)
+        if telemetry is None:
+            metrics, result, cluster = self._runner(spec.name, seed=seed, **params)
+            metrics = dict(metrics)
+        else:
+            import time as _time
+
+            from repro.obs.coordcost import coordcost_report
+
+            started = _time.perf_counter()
+            with telemetry.activate():
+                metrics, result, cluster = self._runner(
+                    spec.name, seed=seed, **params
+                )
+            elapsed = _time.perf_counter() - started
+            metrics = dict(metrics)
+            network = getattr(cluster, "network", None)
+            sent = network.sent if network is not None else None
+            metrics["coordcost"] = coordcost_report(
+                telemetry, messages_sent=sent
+            ).to_dict()
+            if telemetry.profiler is not None:
+                telemetry.profiler.wall_seconds += elapsed
+                metrics["profile"] = telemetry.profiler.snapshot()
         return RunOutcome(
             app=self.name,
             strategy=spec.name,
             seed=seed,
             backend=self.backend,
-            metrics=dict(metrics),
+            metrics=metrics,
             result=result,
             cluster=cluster,
+            telemetry=telemetry,
         )
 
     def audit(

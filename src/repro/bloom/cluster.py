@@ -102,9 +102,14 @@ class BloomNode(Process):
         # quiescence fast path: a tick whose only pending input is
         # redundant (e.g. duplicated deliveries of rows a table already
         # holds) is skipped outright instead of re-running the fixpoint
+        telemetry = self.sim.telemetry
         if self.runtime.skip_noop_tick():
+            if telemetry is not None:
+                telemetry.count("bloom.ticks_skipped", self.name)
             return
         outputs = self.runtime.tick()
+        if telemetry is not None:
+            telemetry.count("bloom.ticks", self.name)
         for name, rows in outputs.items():
             fresh = rows - self.outputs_log[name]
             if fresh and self.trace is not None:

@@ -85,12 +85,21 @@ def _cell_metrics(
     """
     if app_module is not None:
         importlib.import_module(app_module)
+    from repro.obs.coordcost import aggregate_coordcost
+
     harness = harness_for(app, smoke=smoke)
     sched = harness.schedule_named(schedule)
-    observations = [harness.observe(strategy, sched, seed) for seed in seeds]
+    observations = []
+    costs = []
+    for seed in seeds:
+        observation, outcome = harness.observe_outcome(strategy, sched, seed)
+        observations.append(observation)
+        costs.append(outcome.metrics.get("coordcost"))
     verdict = classify_runs(observations)
     predicted = harness.predicted(strategy)
+    coordcost = aggregate_coordcost(costs)
     return {
+        "coordcost": coordcost,
         "predicted": str(predicted),
         "predicted_severity": predicted.severity,
         "observed": str(verdict.observed),

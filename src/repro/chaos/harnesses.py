@@ -60,12 +60,37 @@ class AppHarness:
         self, strategy: str, schedule: FaultSchedule, seed: int
     ) -> RunObservation:
         """Run one campaign cell and extract its observation."""
+        observation, _outcome = self.observe_outcome(strategy, schedule, seed)
+        return observation
+
+    def observe_outcome(
+        self, strategy: str, schedule: FaultSchedule, seed: int
+    ) -> tuple[RunObservation, object]:
+        """Like :meth:`observe`, but also return the raw run outcome.
+
+        The run carries a telemetry hub with span tracing, so the
+        observation comes back with :attr:`RunObservation.spans` populated
+        (the oracle uses it to attach causal slices to anomaly verdicts)
+        and the outcome's metrics embed the run's ``coordcost`` block.
+        """
+        import dataclasses
+
+        from repro.obs.telemetry import Telemetry
+
         params = dict(self.profile.run_params(self.smoke))
         params["workload_seed"] = self.profile.workload_seed
+        hub = Telemetry(spans=True)
         outcome = self.app.run(
-            strategy, seed=seed, chaos=self._armer(schedule), **params
+            strategy,
+            seed=seed,
+            chaos=self._armer(schedule),
+            telemetry=hub,
+            **params,
         )
-        return self.profile.observe(outcome, params)
+        observation = self.profile.observe(outcome, params)
+        if observation.spans is None:
+            observation = dataclasses.replace(observation, spans=hub.spans)
+        return observation, outcome
 
     def schedule_named(self, name: str) -> FaultSchedule:
         for schedule in self.schedules:

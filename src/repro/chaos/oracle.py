@@ -101,6 +101,10 @@ class RunObservation:
     emitted: Mapping[str, frozenset]
     truth: frozenset | None = None
     order: tuple | None = None
+    # Causal span capture for the run (a repro.obs.spans.SpanTracker), when
+    # the harness ran with telemetry.  Diagnostic payload only: excluded
+    # from equality so verdicts stay a function of the observed row sets.
+    spans: object | None = dataclasses.field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "committed", dict(self.committed))
@@ -216,6 +220,18 @@ def classify_runs(observations: Iterable[RunObservation]) -> OracleVerdict:
                     f"(+{extra} unexpected, -{missing} missing)",
                 )
                 break  # one replica per run is enough evidence
+
+    # Attach a causal slice to any non-exact verdict: for the first run
+    # that captured spans, trace one disputed row back through the frames,
+    # replays, and coordination decisions that produced it.
+    if worst is not ObservedLabel.EXACT:
+        from repro.obs.spans import divergence_explain
+
+        for obs in runs:
+            slice_lines = divergence_explain(obs)
+            if slice_lines:
+                evidence.extend(slice_lines)
+                break
 
     return OracleVerdict(worst, tuple(evidence))
 

@@ -12,9 +12,22 @@ registry — the same catalog the benchmarks and the audit campaign use:
     Print only the synthesized coordination plan.
 ``blazes lint TARGET [--strategy S]``
     Check the Section X design patterns.
-``blazes run APP [--strategy S] [--seed N] [--smoke] [--json] [--set k=v]``
+``blazes run APP [--strategy S] [--seed N] [--smoke] [--json] [--set k=v]
+[--profile] [--rundir DIR]``
     Execute a registered app on its simulator backend under one
-    coordination strategy.
+    coordination strategy.  ``--profile`` attaches a
+    :class:`~repro.sim.profile.SimProfiler` and prints its snapshot;
+    ``--rundir DIR`` archives the run as a machine-readable directory
+    (``meta.json``, ``metrics.json``, ``coordcost.json``,
+    ``trace.jsonl``, ``spans.jsonl`` — see :mod:`repro.obs.rundir`).
+``blazes stats APP [--strategy S] [--seed N] [--smoke] [--json]``
+    Run the app under each strategy with telemetry attached and print
+    the per-strategy coordination-cost breakdown (messages by plane,
+    coordination share, decisions, simulated-time overhead).
+``blazes trace APP [--strategy S] [--id LINEAGE] [--limit N] [--json]``
+    Run the app with causal span tracing and print the busiest lineage
+    ids, or — with ``--id`` — one lineage's causal timeline (the frames,
+    votes, replays, and sequencer decisions behind it).
 ``blazes audit [--smoke] [--jobs N] [--apps LIST] ...``
     Run the fault-injection audit campaign: every (app, strategy, fault
     schedule) cell is executed for several seeds and the observed anomaly
@@ -110,6 +123,54 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="KEY=VALUE",
         help="extra runner keyword (JSON value, e.g. --set workers=8)",
     )
+    run_cmd.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach the sim profiler and print its snapshot",
+    )
+    run_cmd.add_argument(
+        "--rundir",
+        default=None,
+        metavar="DIR",
+        help="archive the run as a machine-readable run directory",
+    )
+
+    stats_cmd = sub.add_parser(
+        "stats", help="per-strategy coordination-cost breakdown"
+    )
+    stats_cmd.add_argument("app", help="a registered app name (see `blazes apps`)")
+    stats_cmd.add_argument(
+        "--strategy", default=None, help="one strategy only (all otherwise)"
+    )
+    stats_cmd.add_argument("--seed", type=int, default=0)
+    stats_cmd.add_argument(
+        "--smoke", action="store_true", help="CI-sized workload defaults"
+    )
+    stats_cmd.add_argument(
+        "--json", action="store_true", help="machine-readable coordcost blocks"
+    )
+
+    trace_cmd = sub.add_parser(
+        "trace", help="causal span timelines for one run"
+    )
+    trace_cmd.add_argument("app", help="a registered app name (see `blazes apps`)")
+    trace_cmd.add_argument(
+        "--strategy", default=None, help="deployment strategy (app default otherwise)"
+    )
+    trace_cmd.add_argument("--seed", type=int, default=0)
+    trace_cmd.add_argument(
+        "--smoke", action="store_true", help="CI-sized workload defaults"
+    )
+    trace_cmd.add_argument(
+        "--id", dest="lineage", default=None, metavar="LINEAGE",
+        help="print one lineage's causal timeline (e.g. batch:3, part:c0)",
+    )
+    trace_cmd.add_argument(
+        "--limit", type=int, default=20, help="lineages (or events) to print"
+    )
+    trace_cmd.add_argument(
+        "--json", action="store_true", help="machine-readable span events"
+    )
 
     audit_cmd = sub.add_parser(
         "audit", help="fault-injection audit of the label analysis"
@@ -162,6 +223,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_lint(args)
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "stats":
+            return _cmd_stats(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "audit":
             return _cmd_audit(args)
     except BlazesError as exc:
@@ -293,9 +358,22 @@ def _cmd_run(args) -> int:
 
     app = get_app(args.app)
     overrides = _parse_overrides(args.overrides)
+    telemetry = None
+    if args.profile or args.rundir:
+        from repro.obs.telemetry import Telemetry
+        from repro.sim.profile import SimProfiler
+
+        telemetry = Telemetry(
+            spans=bool(args.rundir),
+            profiler=SimProfiler() if args.profile else None,
+        )
     try:
         outcome = app.run(
-            args.strategy, seed=args.seed, smoke=args.smoke, **overrides
+            args.strategy,
+            seed=args.seed,
+            smoke=args.smoke,
+            telemetry=telemetry,
+            **overrides,
         )
     except TypeError as exc:
         # an unknown --set key surfaces as an unexpected-keyword TypeError
@@ -305,19 +383,101 @@ def _cmd_run(args) -> int:
         if match and match.group(1) in overrides:
             raise BlazesError(f"bad --set override: {exc}") from exc
         raise
+    if args.rundir:
+        from repro.obs.rundir import write_rundir
+
+        write_rundir(args.rundir, outcome, telemetry=telemetry)
     if args.json:
-        print(json.dumps(outcome.to_dict(), indent=2))
+        payload = outcome.to_dict()
+        print(json.dumps(payload, indent=2, default=repr))
+    else:
+        print(
+            f"app={outcome.app} backend={outcome.backend} "
+            f"strategy={outcome.strategy} seed={outcome.seed}"
+        )
+        width = max((len(name) for name in outcome.metrics), default=0)
+        for name, value in outcome.metrics.items():
+            if isinstance(value, dict):
+                continue  # coordcost / profile blocks render below
+            if isinstance(value, float):
+                print(f"  {name:<{width}} : {value:,.4f}")
+            else:
+                print(f"  {name:<{width}} : {value}")
+        if telemetry is not None:
+            from repro.obs.coordcost import coordcost_report
+            from repro.obs.render import coordcost_line, render_profile
+
+            block = outcome.metrics.get("coordcost")
+            if not isinstance(block, dict):
+                block = coordcost_report(telemetry).to_dict()
+            print(coordcost_line(block))
+            if args.profile and "profile" in outcome.metrics:
+                print(render_profile(outcome.metrics["profile"]))
+    if args.rundir:
+        print(f"wrote run directory {args.rundir}", file=sys.stderr)
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.api import get_app
+    from repro.obs.coordcost import coordcost_report
+    from repro.obs.render import render_stats
+    from repro.obs.telemetry import Telemetry
+
+    app = get_app(args.app)
+    if args.strategy is not None:
+        if args.strategy not in app.strategies:
+            raise BlazesError(
+                f"unknown strategy {args.strategy!r} for app {app.name!r}; "
+                f"expected one of {list(app.strategies)}"
+            )
+        strategies = (args.strategy,)
+    else:
+        strategies = tuple(app.strategies)
+    rows = []
+    for strategy in strategies:
+        hub = Telemetry()
+        outcome = app.run(
+            strategy, seed=args.seed, smoke=args.smoke, telemetry=hub
+        )
+        report = outcome.metrics.get("coordcost")
+        if not isinstance(report, dict):
+            report = coordcost_report(hub).to_dict()
+        rows.append((strategy, report))
+    if args.json:
+        print(json.dumps(
+            {
+                "app": app.name,
+                "seed": args.seed,
+                "coordcost": {strategy: report for strategy, report in rows},
+            },
+            indent=2,
+        ))
         return 0
-    print(
-        f"app={outcome.app} backend={outcome.backend} "
-        f"strategy={outcome.strategy} seed={outcome.seed}"
-    )
-    width = max((len(name) for name in outcome.metrics), default=0)
-    for name, value in outcome.metrics.items():
-        if isinstance(value, float):
-            print(f"  {name:<{width}} : {value:,.4f}")
-        else:
-            print(f"  {name:<{width}} : {value}")
+    print(render_stats(app.name, rows))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.api import get_app
+    from repro.obs.render import render_lineages, render_timeline
+    from repro.obs.telemetry import Telemetry
+
+    app = get_app(args.app)
+    hub = Telemetry(spans=True)
+    app.run(args.strategy, seed=args.seed, smoke=args.smoke, telemetry=hub)
+    spans = hub.spans
+    assert spans is not None
+    if args.json:
+        rows = spans.to_rows()
+        if args.lineage is not None:
+            rows = [row for row in rows if row.get("lineage") == args.lineage]
+        print(json.dumps(rows, indent=2))
+        return 0
+    if args.lineage is not None:
+        print(render_timeline(spans, args.lineage, limit=args.limit))
+    else:
+        print(render_lineages(spans, limit=args.limit))
     return 0
 
 

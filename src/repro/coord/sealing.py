@@ -31,6 +31,7 @@ from typing import Any
 from repro.coord.ordering import OrderedInbox
 from repro.coord.zookeeper import ZkClient
 from repro.errors import SimulationError
+from repro.obs.telemetry import current as _telemetry
 
 __all__ = ["SealedStreamProducer", "SealManager", "DATA", "PUNCT", "FRAME"]
 
@@ -255,6 +256,9 @@ class SealManager:
         """Record one producer's punctuation and release if unanimous."""
         if partition in self.released:
             return
+        hub = _telemetry()
+        if hub is not None:
+            hub.note_decision("seal_vote", topic=f"seal:{self.stream}")
         self._seals.setdefault(partition, set()).add(producer)
         self._ensure_producer_set(partition)
         self._maybe_release(partition)
@@ -262,9 +266,21 @@ class SealManager:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _clock(self) -> float:
+        """Best-effort simulated time for span events (0.0 without one)."""
+        if self._zk is not None:
+            try:
+                return self._zk.process.now
+            except AssertionError:  # process not registered yet
+                return 0.0
+        return 0.0
+
     def _ensure_producer_set(self, partition: Partition) -> None:
         if partition in self._producer_sets or partition in self._lookups_inflight:
             return
+        hub = _telemetry()
+        if hub is not None:
+            hub.note_decision("registry_lookup", topic=f"seal:{self.stream}")
         if self._producers_for is not None:
             self.registry_lookups += 1
             self._producer_sets[partition] = frozenset(self._producers_for(partition))
@@ -296,6 +312,22 @@ class SealManager:
         self.released.add(partition)
         records = self._buffers.pop(partition, [])
         self._seals.pop(partition, None)
+        hub = _telemetry()
+        if hub is not None:
+            part = (
+                f"part:{partition}"
+                if isinstance(partition, str)
+                else f"part:{partition!r}"
+            )
+            hub.note_decision(
+                "seal_release",
+                topic=f"seal:{self.stream}",
+                lineage=part,
+                node=self.stream,
+                time=self._clock(),
+                detail=f"unanimous over {len(producers)} producers, "
+                f"{len(records)} records",
+            )
         self.on_complete(partition, records)
 
     # ------------------------------------------------------------------

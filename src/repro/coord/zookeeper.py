@@ -140,6 +140,28 @@ class ZookeeperService(Process):
         self.after(service, lambda: self._complete(kind, msg))
 
     def _complete(self, kind: str, msg: Message) -> None:
+        telemetry = self.sim.telemetry
+        if telemetry is not None:
+            # The leader serialized this operation for one service period:
+            # that busy time is the strategy's simulated-time overhead.
+            if kind == SUBMIT:
+                telemetry.note_decision(
+                    "sequencer",
+                    topic=msg.payload[0],
+                    overhead=self.write_service,
+                    lineage=f"topic:{msg.payload[0]}",
+                    node=self.name,
+                    time=self.now,
+                    detail=f"seq={self._sequences.get(msg.payload[0], 0)}",
+                )
+            elif kind == SET:
+                telemetry.note_decision(
+                    "zk_write", topic=str(msg.payload[0]), overhead=self.write_service
+                )
+            else:
+                telemetry.note_decision(
+                    "zk_read", topic=str(msg.payload), overhead=self.read_service
+                )
         if kind == SUBMIT:
             topic, value = msg.payload
             self.stats.submits += 1

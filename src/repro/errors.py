@@ -55,3 +55,8 @@ class BenchError(BlazesError):
 class ApiError(BlazesError):
     """The programmatic application API was misused (unknown app or
     strategy, malformed declaration, annotation cross-check failure)."""
+
+
+class ObsError(BlazesError):
+    """An observability artifact (run directory, telemetry schema) is
+    missing, malformed, or carries an unsupported schema version."""

@@ -1,0 +1,35 @@
+"""Unified observability: telemetry hub, coordination-cost accounting,
+causal spans, and machine-readable run directories.
+
+See ``docs/observability.md`` for the full model.  The package is
+deliberately free of simulator assumptions: a hub only ever receives
+``note_send`` / ``note_delivery`` / ``note_decision`` calls, so any
+backend speaking the same wire vocabulary reports through it unchanged.
+"""
+
+from repro.obs.coordcost import (
+    CoordCostReport,
+    PLANES,
+    aggregate_coordcost,
+    classify_message,
+    coordcost_report,
+)
+from repro.obs.rundir import RUNDIR_SCHEMA_VERSION, validate_rundir, write_rundir
+from repro.obs.spans import SpanTracker, divergence_explain
+from repro.obs.telemetry import Telemetry, activate, current
+
+__all__ = [
+    "CoordCostReport",
+    "PLANES",
+    "RUNDIR_SCHEMA_VERSION",
+    "SpanTracker",
+    "Telemetry",
+    "activate",
+    "aggregate_coordcost",
+    "classify_message",
+    "coordcost_report",
+    "current",
+    "divergence_explain",
+    "validate_rundir",
+    "write_rundir",
+]

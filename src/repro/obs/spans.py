@@ -1,0 +1,289 @@
+"""Causal span tracing: from a committed row back to what produced it.
+
+A :class:`SpanTracker` derives **lineage ids** observationally from the
+messages the runtime delivers — channel frames and acks carry their
+batch id, sealed-stream records their partition, sequencer traffic its
+topic — plus the explicit decision notes (replays, seal votes and
+releases, sequencer commits) the instrumented runtime emits.  Nothing is
+ever added to a payload, so traces stay byte-identical whether or not a
+tracker is attached.
+
+Lineage vocabulary:
+
+``batch:<n>``     a storm batch (frames, acks, replays, commits)
+``part:<p>``      a sealed-stream partition (records, votes, releases)
+``topic:<t>``     a sequencer topic (submissions, ordered deliveries)
+``chan:<c>``      a bloom channel or collection insert
+``znode``         registry reads/writes
+
+While tracing, every data row seen inside a frame, sealed record,
+sequencer value, or bloom insert is indexed to its lineage, so
+:func:`divergence_explain` can take the rows two replicas (or a replica
+and the ground truth) dispute and attach the *minimal causal slice* —
+the ordered span events for those rows' lineages — to a non-ExactlyOnce
+oracle verdict.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any
+
+__all__ = ["SpanTracker", "divergence_explain"]
+
+# Wire vocabulary (pinned against the canonical constants by tests/obs).
+_ST_CHAN = "st.chan"
+_ST_ACK = "st.ack"
+_SEAL_DATA = "seal.data"
+_SEAL_PUNCT = "seal.punct"
+_SEAL_FRAME = "seal.frame"
+_ZK_SUBMIT = "zk.submit"
+_ZK_DELIVER = "zk.deliver"
+_BLOOM_CHAN = "bloom.chan"
+_BLOOM_INSERT = "bloom.insert"
+
+_MAX_EVENTS = 250_000  # hard cap; beyond it events are counted, not kept
+_MAX_SLICE_ROWS = 2  # disputed rows explained per verdict
+_SLICE_LIMIT = 10  # span events shown per slice (head + tail)
+
+
+def _part(partition: Any) -> str:
+    return f"part:{partition}" if isinstance(partition, str) else f"part:{partition!r}"
+
+
+class SpanTracker:
+    """Collects span events ``(time, lineage, event, node, detail)``."""
+
+    def __init__(self) -> None:
+        self.events: list[tuple[float, str, str, str, Any]] = []
+        self.dropped = 0
+        self._lineage_of: dict[tuple, str] = {}
+
+    # ------------------------------------------------------------------
+    # capture
+    # ------------------------------------------------------------------
+    def note_event(
+        self, time: float, lineage: str, event: str, node: str = "", detail: Any = None
+    ) -> None:
+        """Record one span event under ``lineage``."""
+        if len(self.events) >= _MAX_EVENTS:
+            self.dropped += 1
+            return
+        self.events.append((time, lineage, event, node, detail))
+
+    def note_delivery(self, msg: Any, time: float) -> None:
+        """Derive span events from one delivered message's payload."""
+        kind, payload, node = msg.kind, msg.payload, msg.dst
+        if kind == _ST_CHAN:
+            src, batch, attempt, seq, frame = payload
+            items = 0
+            punct = False
+            for item in frame:
+                if item[0] == "punct":
+                    punct = True
+                else:
+                    items += 1
+                    self._index(item[1], f"batch:{batch}")
+            event = "punct" if punct and not items else "frame"
+            self.note_event(
+                time,
+                f"batch:{batch}",
+                event,
+                node,
+                f"{src}->{node} attempt={attempt} seq={seq} items={items}"
+                + (" +punct" if punct and items else ""),
+            )
+        elif kind == _ST_ACK:
+            self.note_event(time, f"batch:{payload}", "ack", node, f"from={msg.src}")
+        elif kind == _SEAL_DATA:
+            _stream, seq, partition, record, producer = payload
+            lineage = _part(partition)
+            self._index(record, lineage)
+            self.note_event(
+                time, lineage, "seal-data", node, f"producer={producer} seq={seq}"
+            )
+        elif kind == _SEAL_FRAME:
+            _stream, seq, items, producer = payload
+            per_part: Counter = Counter()
+            for partition, record in items:
+                lineage = _part(partition)
+                per_part[lineage] += 1
+                self._index(record, lineage)
+            for lineage, count in per_part.items():
+                self.note_event(
+                    time,
+                    lineage,
+                    "seal-frame",
+                    node,
+                    f"producer={producer} seq={seq} records={count}",
+                )
+        elif kind == _SEAL_PUNCT:
+            _stream, seq, partition, producer = payload
+            self.note_event(
+                time, _part(partition), "seal-vote", node, f"producer={producer}"
+            )
+        elif kind == _ZK_SUBMIT:
+            topic, value = payload
+            self._index(value, f"topic:{topic}")
+            self.note_event(time, f"topic:{topic}", "submit", node, f"from={msg.src}")
+        elif kind == _ZK_DELIVER:
+            topic, seq, value = payload
+            self._index(value, f"topic:{topic}")
+            self.note_event(time, f"topic:{topic}", "deliver", node, f"seq={seq}")
+        elif kind == _BLOOM_CHAN:
+            channel, row = payload
+            self._index(row, f"chan:{channel}")
+            self.note_event(time, f"chan:{channel}", "row", node, f"from={msg.src}")
+        elif kind == _BLOOM_INSERT:
+            collection, rows = payload
+            for row in rows:
+                self._index(row, f"chan:{collection}")
+            self.note_event(
+                time, f"chan:{collection}", "insert", node, f"rows={len(rows)}"
+            )
+        elif kind.startswith("zk."):
+            self.note_event(time, "znode", kind.removeprefix("zk."), node)
+        elif kind.startswith("txn."):
+            self.note_event(time, f"batch:{payload}", kind, node)
+        else:
+            self.note_event(time, f"kind:{kind}", "message", node)
+
+    def _index(self, row: Any, lineage: str) -> None:
+        """Map a data row (and its flattened tagged form) to its lineage."""
+        if not isinstance(row, tuple):
+            return
+        table = self._lineage_of
+        if row not in table:
+            table[row] = lineage
+        # sequencer values are often ("table", row); replicas commit the
+        # flattened ("table", *row), so index that spelling too
+        if len(row) == 2 and isinstance(row[1], tuple):
+            flat = (row[0], *row[1])
+            if flat not in table:
+                table[flat] = lineage
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def lineage_of(self, row: Any) -> str | None:
+        """The lineage a committed row was observed under, if any.
+
+        Tries the row as-is, then without a leading tag element (replica
+        stores commonly commit ``("table", *wire_row)``).
+        """
+        if not isinstance(row, tuple):
+            return None
+        hit = self._lineage_of.get(row)
+        if hit is not None:
+            return hit
+        if len(row) > 1:
+            return self._lineage_of.get(row[1:])
+        return None
+
+    def lineages(self) -> Counter:
+        """Event counts per lineage id."""
+        counts: Counter = Counter()
+        for _time, lineage, _event, _node, _detail in self.events:
+            counts[lineage] += 1
+        return counts
+
+    def slice_for(self, lineage: str) -> list[tuple[float, str, str, str, Any]]:
+        """All span events for one lineage, in capture (= time) order."""
+        return [event for event in self.events if event[1] == lineage]
+
+    def to_rows(self) -> list[dict[str, Any]]:
+        """JSON-able rows for ``spans.jsonl``."""
+        return [
+            {
+                "t": time,
+                "lineage": lineage,
+                "event": event,
+                "node": node,
+                "detail": detail if detail is None or isinstance(detail, (str, int, float)) else repr(detail),
+            }
+            for time, lineage, event, node, detail in self.events
+        ]
+
+    def __repr__(self) -> str:
+        return f"SpanTracker(events={len(self.events)}, dropped={self.dropped})"
+
+
+# ----------------------------------------------------------------------
+# the oracle's causal-slice helper
+# ----------------------------------------------------------------------
+def format_slice(
+    spans: SpanTracker, lineage: str, *, limit: int = _SLICE_LIMIT
+) -> list[str]:
+    """Render one lineage's timeline, eliding the middle past ``limit``."""
+    events = spans.slice_for(lineage)
+    if not events:
+        return []
+    shown: list[tuple[float, str, str, str, Any] | None]
+    if len(events) <= limit:
+        shown = list(events)
+    else:
+        head, tail = limit // 2, limit - limit // 2
+        shown = list(events[:head]) + [None] + list(events[-tail:])
+    lines = []
+    for event in shown:
+        if event is None:
+            lines.append(f"    ... ({len(events) - limit} events elided)")
+            continue
+        time, _lineage, name, node, detail = event
+        suffix = f" {detail}" if detail not in (None, "") else ""
+        lines.append(f"    t={time:.4f} {node or '?'} {name}{suffix}")
+    return lines
+
+
+def _disputed_rows(observation) -> list:
+    """Rows the replicas (or the ground truth) disagree about, ordered."""
+    rows: set = set()
+    names = sorted(observation.committed)
+    if names:
+        reference = observation.committed[names[0]]
+        for name in names[1:]:
+            rows |= observation.committed[name] ^ reference
+    if not rows:
+        names = sorted(observation.emitted)
+        if names:
+            reference = observation.emitted[names[0]]
+            for name in names[1:]:
+                rows |= observation.emitted[name] ^ reference
+    if not rows and observation.truth is not None:
+        for name in sorted(observation.committed):
+            rows |= observation.committed[name] ^ observation.truth
+    return sorted(rows, key=repr)
+
+
+def divergence_explain(observation, *, limit: int = _SLICE_LIMIT) -> tuple[str, ...]:
+    """The minimal causal slice behind one run's inconsistency.
+
+    Given a :class:`~repro.chaos.oracle.RunObservation` whose ``spans``
+    field carries the run's :class:`SpanTracker`, picks the rows the
+    replicas (or ground truth) dispute, resolves each to its captured
+    lineage, and returns the rendered span timeline for those lineages —
+    the frames, retries, votes, and sequencer decisions that produced the
+    disputed row.  Returns ``()`` when no spans were captured or no
+    disputed row resolves to a lineage.
+    """
+    spans = getattr(observation, "spans", None)
+    if spans is None or not getattr(spans, "events", None):
+        return ()
+    lines: list[str] = []
+    explained: set[str] = set()
+    for row in _disputed_rows(observation):
+        if len(explained) >= _MAX_SLICE_ROWS:
+            break
+        lineage = spans.lineage_of(row)
+        if lineage is None or lineage in explained:
+            continue
+        rendered = format_slice(spans, lineage, limit=limit)
+        if not rendered:
+            continue
+        explained.add(lineage)
+        lines.append(
+            f"causal slice for {row!r} ({lineage}, "
+            f"{len(spans.slice_for(lineage))} events):"
+        )
+        lines.extend(rendered)
+    return tuple(lines)

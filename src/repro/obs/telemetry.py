@@ -1,0 +1,197 @@
+"""The telemetry hub: one interface the whole runtime reports through.
+
+A :class:`Telemetry` hub carries labeled counters, gauges, and summary
+histograms, plus the structured notes the simulated runtime emits
+(message sends, deliveries, coordination decisions).  Hubs are **opt-in
+and context-scoped**: :meth:`Telemetry.activate` (used by
+``BlazesApp.run(telemetry=...)``) pushes the hub onto a module-level
+stack, and :func:`repro.sim.events.make_simulator` attaches
+:func:`current` to every simulator built inside the block.  When no hub
+is active, every instrumentation site in the runtime reduces to one
+attribute load and a ``None`` check — the kernel's inner event loop is
+never touched — so disabled telemetry is free and traces are
+byte-identical either way.
+
+The hub itself is backend-agnostic: nothing here assumes a simulator.  A
+real-transport backend reports through exactly the same ``note_send`` /
+``note_delivery`` / ``note_decision`` surface (see
+``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections import Counter
+from typing import Any
+
+from repro.obs.coordcost import classify_message
+from repro.obs.spans import SpanTracker
+
+__all__ = ["Telemetry", "activate", "current"]
+
+# The active-hub stack.  A list (not a single slot) so nested runs — an
+# audit cell spawning per-seed runs, a stats sweep inside a profiled
+# run — each see their own innermost hub.
+_ACTIVE: list["Telemetry"] = []
+
+
+def current() -> "Telemetry | None":
+    """The innermost active hub, or ``None`` when telemetry is disabled."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextlib.contextmanager
+def activate(hub: "Telemetry"):
+    """Scope ``hub`` as the active hub for the block."""
+    _ACTIVE.append(hub)
+    try:
+        yield hub
+    finally:
+        _ACTIVE.pop()
+
+
+class Summary:
+    """A histogram-lite: count, total, min, max of observed values."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+        }
+
+
+class Telemetry:
+    """One run's telemetry: instruments plus the runtime's structured notes.
+
+    ``spans=True`` attaches a :class:`~repro.obs.spans.SpanTracker` that
+    derives causal lineage from delivered messages; ``profiler`` carries a
+    :class:`~repro.sim.profile.SimProfiler` that ``make_simulator``
+    attaches to the built kernel (the ``--profile`` path).
+    """
+
+    def __init__(self, *, spans: bool = False, profiler: Any = None) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, float] = {}
+        self.summaries: dict[str, Summary] = {}
+        self.spans: SpanTracker | None = SpanTracker() if spans else None
+        self.profiler = profiler
+        # Simulated-time serialization cost accumulated by coordination
+        # services (ZK leader busy time); see obs/coordcost.py.
+        self.sim_time_overhead = 0.0
+
+    # ------------------------------------------------------------------
+    # generic instruments
+    # ------------------------------------------------------------------
+    def count(self, name: str, label: str = "", by: int = 1) -> None:
+        """Increment the labeled counter ``name``/``label``."""
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter()
+        counter[label] += by
+
+    def counter(self, name: str) -> Counter:
+        """The label -> count mapping for one counter (empty if unused)."""
+        return self.counters.get(name, Counter())
+
+    def total(self, name: str) -> int:
+        """Sum over all labels of one counter."""
+        return sum(self.counter(name).values())
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a gauge to its latest value."""
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into the summary histogram ``name``."""
+        summary = self.summaries.get(name)
+        if summary is None:
+            summary = self.summaries[name] = Summary()
+        summary.add(value)
+
+    # ------------------------------------------------------------------
+    # structured runtime notes
+    # ------------------------------------------------------------------
+    def note_send(self, kind: str, payload: Any) -> None:
+        """Account one outbound message into its plane (see coordcost)."""
+        plane, topic = classify_message(kind, payload)
+        self.count("messages.plane", plane)
+        self.count("messages.kind", kind)
+        if topic:
+            self.count("messages.topic", topic)
+
+    def note_delivery(self, msg: Any, time: float) -> None:
+        """Feed one delivered message to the span tracker, if tracing."""
+        if self.spans is not None:
+            self.spans.note_delivery(msg, time)
+
+    def note_decision(
+        self,
+        name: str,
+        *,
+        topic: str = "",
+        overhead: float = 0.0,
+        lineage: str | None = None,
+        node: str = "",
+        time: float = 0.0,
+        detail: Any = None,
+    ) -> None:
+        """Account one coordination/control decision (vote, release,
+        sequencer commit, replay, retry), with optional simulated-time
+        ``overhead`` and an optional span event under ``lineage``."""
+        self.count("decisions", name)
+        if topic:
+            self.count("decisions.topic", f"{name}:{topic}")
+        if overhead:
+            self.sim_time_overhead += overhead
+        if lineage is not None and self.spans is not None:
+            self.spans.note_event(time, lineage, name, node, detail)
+
+    # ------------------------------------------------------------------
+    # scoping and export
+    # ------------------------------------------------------------------
+    def activate(self):
+        """Scope this hub as the active hub for a ``with`` block."""
+        return activate(self)
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-able dump of every instrument."""
+        return {
+            "counters": {
+                name: dict(counter) for name, counter in sorted(self.counters.items())
+            },
+            "gauges": dict(sorted(self.gauges.items())),
+            "summaries": {
+                name: summary.to_dict()
+                for name, summary in sorted(self.summaries.items())
+            },
+            "sim_time_overhead": self.sim_time_overhead,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Telemetry(counters={len(self.counters)}, "
+            f"spans={'on' if self.spans is not None else 'off'})"
+        )

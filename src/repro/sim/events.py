@@ -156,6 +156,9 @@ class Simulator:
         self._fired = 0
         self._live = 0
         self._profiler = None
+        # The attached telemetry hub (repro.obs), read by message-level
+        # instrumentation sites; the event loop itself never consults it.
+        self.telemetry = None
 
     @property
     def pending(self) -> int:
@@ -349,5 +352,19 @@ def make_simulator(seed: int = 0):
     if kernel_name() == "ref":
         from repro.sim import events_ref
 
-        return events_ref.Simulator(seed=seed)
-    return Simulator(seed=seed)
+        sim = events_ref.Simulator(seed=seed)
+    else:
+        sim = Simulator(seed=seed)
+    # Attach the active telemetry hub (repro.obs), when one is scoped —
+    # e.g. BlazesApp.run(telemetry=...) — along with its profiler, so
+    # every cluster built inside the block reports through it.  With no
+    # active hub the attribute stays None and every instrumentation site
+    # is a single pointer check.
+    from repro.obs.telemetry import current
+
+    hub = current()
+    if hub is not None:
+        sim.telemetry = hub
+        if hub.profiler is not None:
+            sim.profiler = hub.profiler
+    return sim

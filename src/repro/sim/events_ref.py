@@ -76,6 +76,9 @@ class Simulator:
         self._seq = 0
         self._fired = 0
         self._profiler = None
+        # The attached telemetry hub (repro.obs); same contract as the
+        # fast kernel: message-level sites read it, the loop never does.
+        self.telemetry = None
 
     @property
     def pending(self) -> int:

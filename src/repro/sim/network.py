@@ -195,6 +195,9 @@ class Network:
         if dst not in self._processes:
             raise SimulationError(f"message to unknown process {dst!r}")
         self.sent += 1
+        telemetry = self.sim.telemetry
+        if telemetry is not None:
+            telemetry.note_send(kind, payload)
         copies = 1
         reliable = kind in self.reliable_kinds
         if not reliable and self.drop_prob > 0 and self.sim.rng.random() < self.drop_prob:
@@ -234,6 +237,9 @@ class Network:
         profiler = self.sim.profiler
         if profiler is not None:
             profiler._note_message(msg.kind)
+        telemetry = self.sim.telemetry
+        if telemetry is not None:
+            telemetry.note_delivery(msg, self.sim.now)
         for observer in self._observers:
             observer(msg)
         process.recv(msg)
@@ -245,5 +251,8 @@ class Network:
             self.dropped += 1
             return
         self.retried += 1
+        telemetry = self.sim.telemetry
+        if telemetry is not None:
+            telemetry.note_decision("retry", topic=msg.kind)
         delay = self.latency.base + self.latency.sample(self.sim.rng)
         self.sim.post(delay, self._deliver, msg, attempt + 1)

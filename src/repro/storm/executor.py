@@ -76,6 +76,12 @@ class _Router:
     def broadcast_punct(self, batch: int, attempt: int) -> None:
         # flush=True: the punctuation closes the channel's open frame, so
         # no data record of the batch attempt stays buffered behind it.
+        telemetry = self.task.sim.telemetry
+        if telemetry is not None and self.targets:
+            # in-frame punctuations are batch-tracking machinery present
+            # under every strategy: a delivery-plane decision, not a
+            # coordination message
+            telemetry.note_decision("punctuation", topic=self.task.component)
         for _grouping, _consumer, task_names, _fields in self.targets:
             for name in task_names:
                 self.task.send_chan(name, batch, attempt, ("punct",), flush=True)
@@ -233,6 +239,16 @@ class _SpoutTask(_TaskBase):
         self.attempts[batch] += 1
         self.pending[batch] = set(self.cluster.acker_tasks)
         self.cluster.trace.record(self.now, self.name, "batch_replayed", batch)
+        telemetry = self.sim.telemetry
+        if telemetry is not None:
+            telemetry.note_decision(
+                "replay",
+                topic=self.component,
+                lineage=f"batch:{batch}",
+                node=self.name,
+                time=self.now,
+                detail=f"attempt={self.attempts[batch]}",
+            )
         self._emit_batch(batch)
 
     def recv(self, msg: Message) -> None:
@@ -394,6 +410,15 @@ class _BoltTask(_TaskBase):
             owner = self.cluster.batch_owner(batch)
             self.send(owner, ACK, batch)
             self.cluster.trace.record(self.now, self.name, "batch_acked", batch)
+            telemetry = self.sim.telemetry
+            if telemetry is not None:
+                telemetry.note_decision(
+                    "batch_commit",
+                    topic=self.component,
+                    lineage=f"batch:{batch}",
+                    node=self.name,
+                    time=self.now,
+                )
 
 
 class ClusterConfig:

@@ -1,0 +1,86 @@
+"""Run directories: write/validate roundtrip and schema enforcement."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import get_app
+from repro.errors import ObsError
+from repro.obs.rundir import ARTIFACTS, RUNDIR_SCHEMA_VERSION, validate_rundir, write_rundir
+from repro.obs.telemetry import Telemetry
+
+
+@pytest.fixture(scope="module")
+def sealed_outcome():
+    hub = Telemetry(spans=True)
+    outcome = get_app("adnet").run("seal", seed=1, smoke=True, telemetry=hub)
+    return outcome, hub
+
+
+def test_write_validate_roundtrip(tmp_path, sealed_outcome):
+    outcome, hub = sealed_outcome
+    rundir = write_rundir(tmp_path / "run", outcome, telemetry=hub)
+    assert sorted(p.name for p in rundir.iterdir()) == sorted(ARTIFACTS)
+    info = validate_rundir(rundir)
+    assert info["meta"]["app"] == "adnet"
+    assert info["meta"]["strategy"] == "seal"
+    assert info["meta"]["schema_version"] == RUNDIR_SCHEMA_VERSION
+    assert info["rows"]["trace.jsonl"] > 0
+    assert info["rows"]["spans.jsonl"] > 0
+    assert info["coordcost"]["coordination_share"] > 0.0
+    # every artifact is strict JSON
+    for name in ("meta.json", "metrics.json", "coordcost.json"):
+        json.loads((rundir / name).read_text())
+
+
+def test_missing_artifact_is_rejected(tmp_path, sealed_outcome):
+    outcome, hub = sealed_outcome
+    rundir = write_rundir(tmp_path / "run", outcome, telemetry=hub)
+    (rundir / "coordcost.json").unlink()
+    with pytest.raises(ObsError, match="missing coordcost.json"):
+        validate_rundir(rundir)
+
+
+def test_schema_version_mismatch_is_rejected(tmp_path, sealed_outcome):
+    outcome, hub = sealed_outcome
+    rundir = write_rundir(tmp_path / "run", outcome, telemetry=hub)
+    meta = json.loads((rundir / "meta.json").read_text())
+    meta["schema_version"] = 99
+    (rundir / "meta.json").write_text(json.dumps(meta))
+    with pytest.raises(ObsError, match="schema_version"):
+        validate_rundir(rundir)
+
+
+def test_missing_meta_field_is_rejected(tmp_path, sealed_outcome):
+    outcome, hub = sealed_outcome
+    rundir = write_rundir(tmp_path / "run", outcome, telemetry=hub)
+    meta = json.loads((rundir / "meta.json").read_text())
+    del meta["strategy"]
+    (rundir / "meta.json").write_text(json.dumps(meta))
+    with pytest.raises(ObsError, match="strategy"):
+        validate_rundir(rundir)
+
+
+def test_malformed_jsonl_line_is_rejected(tmp_path, sealed_outcome):
+    outcome, hub = sealed_outcome
+    rundir = write_rundir(tmp_path / "run", outcome, telemetry=hub)
+    with (rundir / "trace.jsonl").open("a") as handle:
+        handle.write("not json\n")
+    with pytest.raises(ObsError, match="trace.jsonl"):
+        validate_rundir(rundir)
+
+
+def test_nonexistent_directory_is_rejected(tmp_path):
+    with pytest.raises(ObsError, match="does not exist"):
+        validate_rundir(tmp_path / "nope")
+
+
+def test_rundir_without_hub_still_validates(tmp_path):
+    outcome = get_app("wordcount").run("eager", seed=1, smoke=True)
+    rundir = write_rundir(tmp_path / "plain", outcome)
+    info = validate_rundir(rundir)
+    assert info["coordcost"] == {}  # no hub: legitimately empty
+    assert info["rows"]["spans.jsonl"] == 0
+    assert info["rows"]["trace.jsonl"] > 0

@@ -1,0 +1,80 @@
+"""Zero observational overhead: telemetry never perturbs replay.
+
+Enabling the hub (even with span tracing) must leave traces, virtual
+time, event counts, and the base metrics byte-identical to an
+uninstrumented run — the digests here are computed exactly as the pinned
+seed-digest regression does, and checked against the checked-in pins
+where one exists.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.api import get_app
+from repro.obs.telemetry import Telemetry
+
+from tests.integration.test_seed_digests import DIGEST_PATH, _canon, _digest
+
+# One cell per coordination mechanism: storm sealing, seal protocol over
+# znodes, the sequencer, a bloom query, and the transactional topology.
+CELLS = (
+    ("wordcount", "sealed"),
+    ("wordcount", "transactional"),
+    ("adnet", "seal"),
+    ("adnet", "ordered"),
+    ("kvs", "ordered"),
+    ("q-thresh", "sealed"),
+)
+SEED = 1
+
+
+def _digest_with_metrics(outcome, metrics) -> str:
+    cluster = outcome.cluster
+    payload = repr(
+        _canon(
+            (tuple(cluster.trace._rows), cluster.sim.now, cluster.sim.fired, metrics)
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+@pytest.mark.parametrize(("app_name", "strategy"), CELLS)
+def test_telemetry_does_not_perturb_replay(app_name, strategy):
+    app = get_app(app_name)
+    plain = app.run(strategy, seed=SEED, smoke=True)
+    hub = Telemetry(spans=True)
+    traced = app.run(strategy, seed=SEED, smoke=True, telemetry=hub)
+
+    assert traced.cluster.trace._rows == plain.cluster.trace._rows
+    assert traced.cluster.sim.now == plain.cluster.sim.now
+    assert traced.cluster.sim.fired == plain.cluster.sim.fired
+
+    base_metrics = {
+        name: value
+        for name, value in traced.metrics.items()
+        if name not in ("coordcost", "profile")
+    }
+    assert base_metrics == plain.metrics
+    assert _digest_with_metrics(traced, base_metrics) == _digest(plain)
+
+    # the instrumented run really did observe something
+    assert traced.metrics["coordcost"]["messages_sent"] > 0
+
+
+@pytest.mark.parametrize(("app_name", "strategy"), CELLS)
+def test_instrumented_digest_matches_the_checked_in_pin(app_name, strategy):
+    pinned = json.loads(DIGEST_PATH.read_text())
+    key = f"{app_name}/{strategy}/{SEED}"
+    assert key in pinned, f"{key} not covered by seed_digests.json"
+    hub = Telemetry(spans=True)
+    traced = get_app(app_name).run(strategy, seed=SEED, smoke=True, telemetry=hub)
+    base_metrics = {
+        name: value
+        for name, value in traced.metrics.items()
+        if name not in ("coordcost", "profile")
+    }
+    assert _digest_with_metrics(traced, base_metrics) == pinned[key]

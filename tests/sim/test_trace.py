@@ -49,3 +49,58 @@ def test_merge_traces_orders_by_time():
     t2.record(1.0, "y", "e")
     merged = merge_traces([t1, t2])
     assert [r.source for r in merged] == ["y", "x"]
+
+
+def test_total_weights_integer_data():
+    trace = Trace()
+    trace.record(0.1, "probe", "processed", 50)  # aggregated: 50 items
+    trace.record(0.2, "probe", "processed", 30)
+    trace.record(0.3, "probe", "processed", ("row",))  # non-int: weight 1
+    trace.record(0.4, "probe", "processed")  # None: weight 1
+    assert trace.total("processed") == 82
+    assert trace.count("processed") == 4
+    # bools and floats are not aggregation weights
+    trace.record(0.5, "probe", "other", True)
+    trace.record(0.6, "probe", "other", 2.5)
+    assert trace.total("other") == 2
+
+
+def test_timeline_weighted_matches_per_item_series():
+    aggregated, per_item = Trace(), Trace()
+    aggregated.record(0.4, "p", "processed", 3)
+    aggregated.record(1.2, "p", "processed", 2)
+    for time in (0.4, 0.4, 0.4, 1.2, 1.2):
+        per_item.record(time, "p", "processed", ("row",))
+    assert (
+        aggregated.timeline("processed", bucket=0.5, weighted=True)
+        == per_item.timeline("processed", bucket=0.5)
+        == [(0.5, 3), (1.0, 3), (1.5, 5)]
+    )
+    # unweighted, the aggregated rows count once each
+    assert aggregated.timeline("processed", bucket=0.5) == [
+        (0.5, 1),
+        (1.0, 1),
+        (1.5, 2),
+    ]
+
+
+def test_data_series_preserves_record_order():
+    trace = Trace()
+    payloads = [(0, "a"), (1, "b"), (2, "c")]
+    for seq, value in payloads:
+        trace.record(0.1 * (seq + 1), "zk", "zk.order:t", (seq, value))
+    trace.record(0.05, "zk", "other", "ignored")
+    assert trace.data_series("zk.order:t") == payloads
+    assert trace.data_series("nope") == []
+
+
+def test_merge_traces_is_stable_under_equal_timestamps():
+    t1, t2 = Trace(), Trace()
+    t1.record(1.0, "x", "e", "x1")
+    t1.record(1.0, "x", "e", "x2")
+    t2.record(1.0, "y", "e", "y1")
+    merged = merge_traces([t1, t2])
+    # sorted() is stable: equal-time rows keep per-trace input order,
+    # with t1's rows ahead of t2's
+    assert [r.data for r in merged] == ["x1", "x2", "y1"]
+    assert [r.data for r in merge_traces([t2, t1])] == ["y1", "x1", "x2"]

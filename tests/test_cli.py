@@ -265,3 +265,87 @@ def test_version_flag():
     with pytest.raises(SystemExit) as excinfo:
         build_parser().parse_args(["--version"])
     assert excinfo.value.code == 0
+
+
+def test_run_profile_flag_prints_snapshot(capsys):
+    assert main(["run", "wordcount", "--strategy", "eager", "--smoke", "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "profile:" in out and "events/second" in out
+    assert "coordination: " in out
+
+
+def test_run_profile_json_embeds_blocks(capsys):
+    assert main([
+        "run", "adnet", "--strategy", "seal", "--smoke", "--profile", "--json",
+    ]) == 0
+    outcome = json.loads(capsys.readouterr().out)
+    assert outcome["metrics"]["coordcost"]["coordination_share"] > 0
+    assert outcome["metrics"]["profile"]["events"] > 0
+
+
+def test_run_rundir_writes_and_validates(tmp_path, capsys):
+    from repro.obs.rundir import validate_rundir
+
+    rundir = tmp_path / "run"
+    assert main([
+        "run", "kvs", "--strategy", "ordered", "--smoke", "--rundir", str(rundir),
+    ]) == 0
+    assert str(rundir) in capsys.readouterr().err
+    info = validate_rundir(rundir)
+    assert info["meta"]["app"] == "kvs"
+    assert info["coordcost"]["coordination_share"] > 0
+    assert info["rows"]["spans.jsonl"] > 0
+
+
+def test_stats_subcommand_covers_every_strategy(capsys):
+    from repro.api import get_app
+
+    assert main(["stats", "adnet", "--smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "coordination cost" in out
+    for strategy in get_app("adnet").strategies:
+        assert strategy in out
+
+
+def test_stats_subcommand_json(capsys):
+    assert main(["stats", "wordcount", "--smoke", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["app"] == "wordcount"
+    # the eager storm topology coordinates nothing
+    assert payload["coordcost"]["eager"]["coordination_share"] == 0.0
+    assert payload["coordcost"]["transactional"]["coordination_share"] > 0.0
+
+
+def test_stats_unknown_strategy_is_a_clean_error(capsys):
+    assert main(["stats", "adnet", "--strategy", "nope"]) == 1
+    assert "unknown strategy" in capsys.readouterr().err
+
+
+def test_trace_subcommand_lists_lineages(capsys):
+    assert main(["trace", "kvs", "--strategy", "ordered", "--smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "lineages" in out and "topic:kvs.inputs" in out
+
+
+def test_trace_subcommand_timeline_and_json(capsys):
+    assert main([
+        "trace", "kvs", "--strategy", "ordered", "--smoke",
+        "--id", "topic:kvs.inputs", "--limit", "6",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "timeline topic:kvs.inputs" in out and "elided" in out
+    assert main([
+        "trace", "kvs", "--strategy", "ordered", "--smoke",
+        "--id", "topic:kvs.inputs", "--json",
+    ]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert rows and all(row["lineage"] == "topic:kvs.inputs" for row in rows)
+
+
+def test_trace_unknown_lineage_suggests_known_ids(capsys):
+    assert main([
+        "trace", "kvs", "--strategy", "ordered", "--smoke", "--id", "batch:999",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "no span events for 'batch:999'" in out
+    assert "known lineages" in out
