@@ -89,6 +89,27 @@ def tier_from_flags(argv: list[str]) -> str:
     return "default"
 
 
+def jobs_from_flags(argv: list[str]) -> int:
+    """The ``--jobs N`` flag every figure script accepts, defaulting to
+    ``$BLAZES_JOBS`` (else serial)."""
+    from repro.exec import resolve_jobs
+
+    if "--jobs" in argv:
+        index = argv.index("--jobs")
+        try:
+            return resolve_jobs(int(argv[index + 1]))
+        except (IndexError, ValueError):
+            raise SystemExit("--jobs expects an integer worker count")
+    return resolve_jobs()
+
+
+def cache_from_flags(argv: list[str]):
+    """The figure scripts' cell cache: on by default, ``--no-cache`` off."""
+    from repro.exec import CellCache
+
+    return None if "--no-cache" in argv else CellCache()
+
+
 def report_name(figure: str, tier: str) -> str:
     """``fig12`` / ``fig12-smoke`` / ``fig12-full``."""
     return figure if tier == "default" else f"{figure}-{tier}"
@@ -141,19 +162,40 @@ def _measure_strategy_cached(
     }
 
 
+def _measure_cell(*, servers: int, strategy: str, tier: str) -> dict:
+    """One sweep cell; module-level so the worker pool can pickle it."""
+    return measure_strategy(servers, strategy, tier)
+
+
 def run_adreport_bench(
-    name: str, servers: int, strategies, *, tier: str = "default"
+    name: str,
+    servers: int,
+    strategies,
+    *,
+    tier: str = "default",
+    jobs: int = 1,
+    cache=None,
 ) -> BenchReport:
-    """Sweep the delivery strategies at one cluster size; write the JSON."""
+    """Sweep the delivery strategies at one cluster size; write the JSON.
+
+    ``jobs > 1`` runs the cells on the warm worker pool; ``cache`` serves
+    previously computed cells by content address (bench name + params).
+    """
+    from repro.exec import bench_cache_fields
+
     scenarios = [
         Scenario(strategy, {"servers": servers, "strategy": strategy, "tier": tier})
         for strategy in strategies
     ]
-
-    def fn(*, servers: int, strategy: str, tier: str) -> dict:
-        return measure_strategy(servers, strategy, tier)
-
-    return run_bench(name, scenarios, fn, reporter=JsonReporter())
+    return run_bench(
+        name,
+        scenarios,
+        _measure_cell,
+        reporter=JsonReporter(),
+        jobs=jobs,
+        cache=cache,
+        cache_fields=bench_cache_fields(name),
+    )
 
 
 def _print_bucket_table(

@@ -29,7 +29,12 @@ from __future__ import annotations
 import functools
 import sys
 
-from benchmarks._adreport import report_name, tier_from_flags
+from benchmarks._adreport import (
+    cache_from_flags,
+    jobs_from_flags,
+    report_name,
+    tier_from_flags,
+)
 from repro.api import get_app
 from repro.bench import BenchReport, JsonReporter, run_bench, sweep
 
@@ -146,21 +151,38 @@ def _measure_batching(*, frame_size: int, scale: int, tier: str) -> dict:
     }
 
 
-def run_fig11(tier: str = "default") -> BenchReport:
+def run_fig11(tier: str = "default", *, jobs: int = 1, cache=None) -> BenchReport:
     """The figure sweep at one tier; writes ``BENCH_fig11*.json``.
 
     Smoke/full runs write ``BENCH_fig11-smoke.json`` /
     ``BENCH_fig11-full.json`` so they never clobber the default-tier
     record in the same directory.  Defaults are normalized into the
-    cached call so every call arity shares one sweep.
+    cached call so every call arity shares one sweep; engine runs
+    (``jobs > 1`` or a cell cache) bypass the in-process memo.
     """
-    return _run_fig11_cached(tier)
+    if jobs == 1 and cache is None:
+        return _run_fig11_cached(tier)
+    return _run_fig11(tier, jobs=jobs, cache=cache)
+
+
+def _run_fig11(tier: str, *, jobs: int = 1, cache=None) -> BenchReport:
+    from repro.exec import bench_cache_fields
+
+    name = report_name("fig11", tier)
+    return run_bench(
+        name,
+        scenarios(tier),
+        measure,
+        reporter=JsonReporter(),
+        jobs=jobs,
+        cache=cache,
+        cache_fields=bench_cache_fields(name),
+    )
 
 
 @functools.lru_cache(maxsize=None)
 def _run_fig11_cached(tier: str) -> BenchReport:
-    name = report_name("fig11", tier)
-    return run_bench(name, scenarios(tier), measure, reporter=JsonReporter())
+    return _run_fig11(tier)
 
 
 def print_report(report: BenchReport) -> None:
@@ -214,8 +236,11 @@ def test_fig11_batched_delivery_cuts_message_events():
 
 
 def main(argv: list[str] | None = None) -> None:
-    tier = tier_from_flags(argv if argv is not None else sys.argv[1:])
-    report = run_fig11(tier=tier)
+    argv = argv if argv is not None else sys.argv[1:]
+    tier = tier_from_flags(argv)
+    report = run_fig11(
+        tier=tier, jobs=jobs_from_flags(argv), cache=cache_from_flags(argv)
+    )
     print_report(report)
     print()
     print(f"wrote {JsonReporter().path_for(report.name)}")

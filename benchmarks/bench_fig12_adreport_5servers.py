@@ -21,6 +21,8 @@ import functools
 import sys
 
 from benchmarks._adreport import (
+    cache_from_flags,
+    jobs_from_flags,
     print_report_series,
     report_name,
     run_adreport_bench,
@@ -32,8 +34,15 @@ STRATEGIES = ("uncoordinated", "ordered", "independent-seal", "seal")
 SERVERS = 5
 
 
-def run_fig12(tier: str = "default"):
-    return _run_fig12_cached(tier)
+def run_fig12(tier: str = "default", *, jobs: int = 1, cache=None):
+    # engine runs (pool or cache) bypass the in-process memo: the cell
+    # cache already dedupes, and reports differ by their engine block
+    if jobs == 1 and cache is None:
+        return _run_fig12_cached(tier)
+    return run_adreport_bench(
+        report_name("fig12", tier), SERVERS, STRATEGIES, tier=tier,
+        jobs=jobs, cache=cache,
+    )
 
 
 @functools.lru_cache(maxsize=None)
@@ -60,8 +69,11 @@ def test_fig12_adreport_5_servers():
 
 
 def main(argv: list[str] | None = None) -> None:
-    tier = tier_from_flags(argv if argv is not None else sys.argv[1:])
-    report = run_fig12(tier=tier)
+    argv = argv if argv is not None else sys.argv[1:]
+    tier = tier_from_flags(argv)
+    report = run_fig12(
+        tier=tier, jobs=jobs_from_flags(argv), cache=cache_from_flags(argv)
+    )
     print(f"Figure 12 — processed log records over time, 5 ad servers [{tier}]")
     print_report_series(report, bucket=0.5)
     print()

@@ -20,6 +20,8 @@ import functools
 import sys
 
 from benchmarks._adreport import (
+    cache_from_flags,
+    jobs_from_flags,
     measure_strategy,
     print_report_series,
     report_name,
@@ -32,8 +34,13 @@ STRATEGIES = ("uncoordinated", "ordered", "independent-seal", "seal")
 SERVERS = 10
 
 
-def run_fig13(tier: str = "default"):
-    return _run_fig13_cached(tier)
+def run_fig13(tier: str = "default", *, jobs: int = 1, cache=None):
+    if jobs == 1 and cache is None:
+        return _run_fig13_cached(tier)
+    return run_adreport_bench(
+        report_name("fig13", tier), SERVERS, STRATEGIES, tier=tier,
+        jobs=jobs, cache=cache,
+    )
 
 
 @functools.lru_cache(maxsize=None)
@@ -80,8 +87,11 @@ def test_fig13_scaling_vs_fig12():
 
 
 def main(argv: list[str] | None = None) -> None:
-    tier = tier_from_flags(argv if argv is not None else sys.argv[1:])
-    report = run_fig13(tier=tier)
+    argv = argv if argv is not None else sys.argv[1:]
+    tier = tier_from_flags(argv)
+    report = run_fig13(
+        tier=tier, jobs=jobs_from_flags(argv), cache=cache_from_flags(argv)
+    )
     print(f"Figure 13 — processed log records over time, 10 ad servers [{tier}]")
     print_report_series(report, bucket=1.0)
     print()

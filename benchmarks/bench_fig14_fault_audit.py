@@ -43,24 +43,35 @@ from repro.chaos.campaign import DEFAULT_SEEDS as SEEDS
 from repro.chaos.campaign import DEFAULT_SMOKE_SEEDS as SMOKE_SEEDS
 
 
-def run_audit(smoke: bool = False) -> BenchReport:
+def run_audit(smoke: bool = False, *, jobs: int = 1, cache=None) -> BenchReport:
     """The full campaign; writes ``BENCH_fig14-audit[-smoke].json``.
 
     Smoke runs use CI-sized workloads and two seeds, and write a
     ``-smoke`` file so they never clobber a full-scale record.
+    ``jobs > 1`` fans the cells out over the warm worker pool; ``cache``
+    serves already-computed cells (engine runs bypass the in-process
+    memo — the cell cache already dedupes).
     """
-    return _run_audit_cached(smoke)
+    if jobs == 1 and cache is None:
+        return _run_audit_cached(smoke)
+    return _run_audit(smoke, jobs=jobs, cache=cache)
 
 
-@functools.lru_cache(maxsize=None)
-def _run_audit_cached(smoke: bool) -> BenchReport:
+def _run_audit(smoke: bool, *, jobs: int = 1, cache=None) -> BenchReport:
     name = "fig14-audit-smoke" if smoke else "fig14-audit"
     return audit_campaign(
         smoke=smoke,
         seeds=SMOKE_SEEDS if smoke else SEEDS,
         name=name,
         reporter=JsonReporter(),
+        jobs=jobs,
+        cache=cache,
     )
+
+
+@functools.lru_cache(maxsize=None)
+def _run_audit_cached(smoke: bool) -> BenchReport:
+    return _run_audit(smoke)
 
 
 def test_fig14_audit_is_sound():
@@ -128,8 +139,13 @@ def test_fig14_coordcost_orders_strategies():
 
 
 def main(argv: list[str] | None = None) -> None:
-    smoke = "--smoke" in (argv if argv is not None else sys.argv[1:])
-    report = run_audit(smoke=smoke)
+    from benchmarks._adreport import cache_from_flags, jobs_from_flags
+
+    argv = argv if argv is not None else sys.argv[1:]
+    smoke = "--smoke" in argv
+    report = run_audit(
+        smoke=smoke, jobs=jobs_from_flags(argv), cache=cache_from_flags(argv)
+    )
     print(render_audit(report, evidence=not smoke))
     print()
     print(f"wrote {JsonReporter().path_for(report.name)}")

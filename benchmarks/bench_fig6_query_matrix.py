@@ -129,9 +129,20 @@ def test_wordcount_derivations(benchmark):
 # ----------------------------------------------------------------------
 # the empirical matrix (fault audit over the registered query apps)
 # ----------------------------------------------------------------------
-def run_matrix_audit(smoke: bool = False) -> BenchReport:
-    """The audit sweep; writes ``BENCH_fig6-matrix[-smoke].json``."""
-    return _run_matrix_audit_cached(smoke)
+def run_matrix_audit(
+    smoke: bool = False, *, jobs: int = 1, cache=None
+) -> BenchReport:
+    """The audit sweep; writes ``BENCH_fig6-matrix[-smoke].json``.
+
+    ``jobs > 1`` fans the cells out over the warm worker pool; ``cache``
+    serves already-computed cells (engine runs bypass the in-process
+    memo — the cell cache already dedupes).
+    """
+    if jobs == 1 and cache is None:
+        return _run_matrix_audit_cached(smoke)
+    return matrix_campaign(
+        smoke=smoke, reporter=JsonReporter(), jobs=jobs, cache=cache
+    )
 
 
 @functools.lru_cache(maxsize=None)
@@ -187,8 +198,13 @@ def test_fig6_ordered_cells_judged_on_recorded_order():
 
 
 def main(argv: list[str] | None = None) -> None:
-    smoke = "--smoke" in (argv if argv is not None else sys.argv[1:])
-    report = run_matrix_audit(smoke=smoke)
+    from benchmarks._adreport import cache_from_flags, jobs_from_flags
+
+    argv = argv if argv is not None else sys.argv[1:]
+    smoke = "--smoke" in argv
+    report = run_matrix_audit(
+        smoke=smoke, jobs=jobs_from_flags(argv), cache=cache_from_flags(argv)
+    )
     print(render_matrix(report))
     print()
     print(render_audit(report))

@@ -121,15 +121,35 @@ def scenarios(smoke: bool = False) -> list:
     )
 
 
-def run_fixpoint(smoke: bool = False) -> BenchReport:
-    """The engine x scale sweep; writes ``BENCH_fixpoint[-smoke].json``."""
-    return _run_fixpoint_cached(smoke)
+def run_fixpoint(smoke: bool = False, *, jobs: int = 1, cache=None) -> BenchReport:
+    """The engine x scale sweep; writes ``BENCH_fixpoint[-smoke].json``.
+
+    ``jobs > 1`` or a cell cache routes through the evaluation engine and
+    bypasses the in-process memo.
+    """
+    if jobs == 1 and cache is None:
+        return _run_fixpoint_cached(smoke)
+    return _run_fixpoint(smoke, jobs=jobs, cache=cache)
+
+
+def _run_fixpoint(smoke: bool, *, jobs: int = 1, cache=None) -> BenchReport:
+    from repro.exec import bench_cache_fields
+
+    name = "fixpoint-smoke" if smoke else "fixpoint"
+    return run_bench(
+        name,
+        scenarios(smoke),
+        measure,
+        reporter=JsonReporter(),
+        jobs=jobs,
+        cache=cache,
+        cache_fields=bench_cache_fields(name),
+    )
 
 
 @functools.lru_cache(maxsize=None)
 def _run_fixpoint_cached(smoke: bool) -> BenchReport:
-    name = "fixpoint-smoke" if smoke else "fixpoint"
-    return run_bench(name, scenarios(smoke), measure, reporter=JsonReporter())
+    return _run_fixpoint(smoke)
 
 
 def print_report(report: BenchReport) -> None:
@@ -182,8 +202,13 @@ def test_fixpoint_smoke_throughput_floor():
 
 
 def main(argv: list[str] | None = None) -> None:
-    smoke = "--smoke" in (argv if argv is not None else sys.argv[1:])
-    report = run_fixpoint(smoke=smoke)
+    from benchmarks._adreport import cache_from_flags, jobs_from_flags
+
+    argv = argv if argv is not None else sys.argv[1:]
+    smoke = "--smoke" in argv
+    report = run_fixpoint(
+        smoke=smoke, jobs=jobs_from_flags(argv), cache=cache_from_flags(argv)
+    )
     print_report(report)
     print()
     print(f"wrote {JsonReporter().path_for(report.name)}")

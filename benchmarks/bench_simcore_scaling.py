@@ -169,15 +169,35 @@ def measure(*, mode: str, **params) -> dict:
     return measure_fig12(**params)
 
 
-def run_simcore(smoke: bool = False) -> BenchReport:
-    """The kernel-storm + fig12-at-scale sweep; writes ``BENCH_simcore[-smoke].json``."""
-    return _run_simcore_cached(smoke)
+def run_simcore(smoke: bool = False, *, jobs: int = 1, cache=None) -> BenchReport:
+    """The kernel-storm + fig12-at-scale sweep; writes ``BENCH_simcore[-smoke].json``.
+
+    ``jobs > 1`` or a cell cache routes through the evaluation engine and
+    bypasses the in-process memo.
+    """
+    if jobs == 1 and cache is None:
+        return _run_simcore_cached(smoke)
+    return _run_simcore(smoke, jobs=jobs, cache=cache)
+
+
+def _run_simcore(smoke: bool, *, jobs: int = 1, cache=None) -> BenchReport:
+    from repro.exec import bench_cache_fields
+
+    name = "simcore-smoke" if smoke else "simcore"
+    return run_bench(
+        name,
+        scenarios(smoke),
+        measure,
+        reporter=JsonReporter(),
+        jobs=jobs,
+        cache=cache,
+        cache_fields=bench_cache_fields(name),
+    )
 
 
 @functools.lru_cache(maxsize=None)
 def _run_simcore_cached(smoke: bool) -> BenchReport:
-    name = "simcore-smoke" if smoke else "simcore"
-    return run_bench(name, scenarios(smoke), measure, reporter=JsonReporter())
+    return _run_simcore(smoke)
 
 
 def print_report(report: BenchReport) -> None:
@@ -261,8 +281,13 @@ def test_full_fig12_sweep_completes_in_seconds():
 
 
 def main(argv: list[str] | None = None) -> None:
-    smoke = "--smoke" in (argv if argv is not None else sys.argv[1:])
-    report = run_simcore(smoke=smoke)
+    from benchmarks._adreport import cache_from_flags, jobs_from_flags
+
+    argv = argv if argv is not None else sys.argv[1:]
+    smoke = "--smoke" in argv
+    report = run_simcore(
+        smoke=smoke, jobs=jobs_from_flags(argv), cache=cache_from_flags(argv)
+    )
     print_report(report)
     print()
     print(f"wrote {JsonReporter().path_for(report.name)}")

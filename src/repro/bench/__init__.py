@@ -16,7 +16,7 @@ from repro.bench.runner import (
     run_bench,
     sweep,
 )
-from repro.bench.timing import Stopwatch, timed
+from repro.bench.timing import Stopwatch, timed, timed_detail
 
 __all__ = [
     "BenchReport",
@@ -29,4 +29,5 @@ __all__ = [
     "run_bench",
     "sweep",
     "timed",
+    "timed_detail",
 ]

@@ -44,6 +44,7 @@ class JsonReporter:
             "environment": {
                 "python": platform.python_version(),
                 "platform": platform.platform(),
+                "cpu_count": os.cpu_count(),
             },
         }
         self.directory.mkdir(parents=True, exist_ok=True)

@@ -15,7 +15,7 @@ import dataclasses
 from collections.abc import Callable, Iterable, Mapping
 from typing import Any
 
-from repro.bench.timing import timed
+from repro.bench.timing import timed_detail
 from repro.errors import BenchError
 
 __all__ = [
@@ -43,12 +43,18 @@ class Scenario:
 
 @dataclasses.dataclass(frozen=True)
 class ScenarioResult:
-    """The metrics one scenario produced, plus its wall-clock cost."""
+    """The metrics one scenario produced, plus its wall/CPU cost.
+
+    ``cpu_seconds`` is the process CPU time of the measurement (``None``
+    for legacy two-tuple outcomes); alongside ``wall_seconds`` it makes
+    scheduler noise visible in ``BENCH_*.json`` records.
+    """
 
     name: str
     params: dict[str, Any]
     metrics: dict[str, Any]
     wall_seconds: float
+    cpu_seconds: float | None = None
 
     def __getitem__(self, key: str) -> Any:
         return self.metrics[key]
@@ -73,6 +79,9 @@ class BenchReport:
     def __init__(self, name: str, results: list[ScenarioResult]) -> None:
         self.name = name
         self.results = list(results)
+        # The evaluation engine's accounting block (jobs, cache hits,
+        # pool utilization); None for plain serial runs.
+        self.engine: dict[str, Any] | None = None
 
     def __iter__(self):
         return iter(self.results)
@@ -110,10 +119,13 @@ class BenchReport:
         return [result.metrics[metric] for result in self.select(**params)]
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload = {
             "bench": self.name,
             "scenarios": [dataclasses.asdict(result) for result in self.results],
         }
+        if self.engine is not None:
+            payload["engine"] = self.engine
+        return payload
 
     def table(self, *metrics: str) -> str:
         """Render (selected or all) metrics as an aligned text table."""
@@ -150,7 +162,13 @@ def _fmt(value: Any) -> str:
 
 
 def _validated_result(
-    bench_name: str, scenario: Scenario, metrics: Any, wall: float, verbose: bool
+    bench_name: str,
+    scenario: Scenario,
+    metrics: Any,
+    wall: float,
+    verbose: bool,
+    *,
+    cpu: float | None = None,
 ) -> ScenarioResult:
     if not isinstance(metrics, Mapping):
         raise BenchError(
@@ -158,7 +176,7 @@ def _validated_result(
             f"returned {type(metrics).__name__}, expected a metric mapping"
         )
     result = ScenarioResult(
-        scenario.name, dict(scenario.params), dict(metrics), wall
+        scenario.name, dict(scenario.params), dict(metrics), wall, cpu
     )
     if verbose:
         print(f"[{bench_name}] {scenario.name}: {result.metrics} ({wall:.2f}s)")
@@ -168,21 +186,30 @@ def _validated_result(
 def assemble_report(
     name: str,
     scenarios: Iterable[Scenario],
-    outcomes: Iterable[tuple[Any, float]],
+    outcomes: Iterable[tuple[Any, ...]],
     *,
     reporter: "Any | None" = None,
     verbose: bool = False,
 ) -> BenchReport:
-    """Collect externally produced ``(metrics, wall_seconds)`` outcomes.
+    """Collect externally produced outcomes into a report.
 
-    The out-of-band counterpart to :func:`run_bench` for callers that run
-    the measurements themselves (e.g. on a process pool): same
-    validation, same verbose rendering, same reporter protocol, so a
-    parallel run produces a report indistinguishable from a serial one.
+    Each outcome is ``(metrics, wall_seconds)`` or ``(metrics,
+    wall_seconds, cpu_seconds)``.  The out-of-band counterpart to
+    :func:`run_bench` for callers that run the measurements themselves
+    (e.g. on a process pool): same validation, same verbose rendering,
+    same reporter protocol, so a parallel run produces a report
+    indistinguishable from a serial one.
     """
     results = [
-        _validated_result(name, scenario, metrics, wall, verbose)
-        for scenario, (metrics, wall) in zip(scenarios, outcomes)
+        _validated_result(
+            name,
+            scenario,
+            outcome[0],
+            outcome[1],
+            verbose,
+            cpu=outcome[2] if len(outcome) > 2 else None,
+        )
+        for scenario, outcome in zip(scenarios, outcomes)
     ]
     report = BenchReport(name, results)
     if reporter is not None:
@@ -197,18 +224,41 @@ def run_bench(
     *,
     reporter: "Any | None" = None,
     verbose: bool = False,
+    jobs: int = 1,
+    cache: "Any | None" = None,
+    cache_fields: "Callable[[Scenario], Mapping[str, Any]] | None" = None,
+    modules: Iterable[str] = (),
 ) -> BenchReport:
     """Execute every scenario and collect a :class:`BenchReport`.
 
     ``fn`` is called as ``fn(**scenario.params)`` and must return a
     JSON-serializable metric mapping.  Pass a
     :class:`repro.bench.report.JsonReporter` as ``reporter`` to also write
-    ``BENCH_<name>.json``.
+    ``BENCH_<name>.json``.  ``jobs > 1`` or a
+    :class:`~repro.exec.cache.CellCache` routes the run through the
+    evaluation engine (warm worker pool + content-addressed cache); ``fn``
+    must then be module-level (picklable).
     """
+    if jobs > 1 or cache is not None:
+        from repro.exec.engine import evaluate
+
+        return evaluate(
+            name,
+            scenarios,
+            fn,
+            jobs=jobs,
+            cache=cache,
+            cache_fields=cache_fields,
+            modules=tuple(modules),
+            reporter=reporter,
+            verbose=verbose,
+        )
     results: list[ScenarioResult] = []
     for scenario in scenarios:
-        metrics, wall = timed(fn, **scenario.params)
-        results.append(_validated_result(name, scenario, metrics, wall, verbose))
+        metrics, wall, cpu = timed_detail(fn, **scenario.params)
+        results.append(
+            _validated_result(name, scenario, metrics, wall, verbose, cpu=cpu)
+        )
     report = BenchReport(name, results)
     if reporter is not None:
         reporter.write(report)

@@ -12,7 +12,7 @@ import time
 from collections.abc import Callable
 from typing import Any
 
-__all__ = ["Stopwatch", "timed"]
+__all__ = ["Stopwatch", "timed", "timed_detail"]
 
 
 class Stopwatch:
@@ -39,3 +39,22 @@ def timed(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> tuple[Any, float
     with Stopwatch() as watch:
         result = fn(*args, **kwargs)
     return result, watch.seconds
+
+
+def timed_detail(
+    fn: Callable[..., Any], *args: Any, **kwargs: Any
+) -> tuple[Any, float, float]:
+    """Call ``fn`` and return ``(result, wall_seconds, cpu_seconds)``.
+
+    ``cpu_seconds`` is this process's CPU time (``time.process_time``):
+    on a loaded or oversubscribed machine it separates "the cell got
+    slower" from "the cell got less CPU", which wall clock alone cannot.
+    """
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    result = fn(*args, **kwargs)
+    return (
+        result,
+        time.perf_counter() - wall_start,
+        time.process_time() - cpu_start,
+    )

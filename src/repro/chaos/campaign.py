@@ -18,20 +18,22 @@ Results flow through :mod:`repro.bench`, so ``blazes audit`` and
 table and ``BENCH_<name>.json`` record for free.
 
 Campaign cells share nothing — every cell re-seeds its own simulated
-cluster from its parameters — so ``audit_campaign(..., jobs=N)``
-(``blazes audit --jobs N``) fans the cells out over a process pool and
-merges the results into the same report, the first step of the ROADMAP's
-multiprocess backend.
+cluster from its parameters — so the whole sweep executes through the
+evaluation engine (:func:`repro.exec.evaluate`): ``jobs > 1``
+(``blazes audit --jobs N`` / ``BLAZES_JOBS``) fans the cells out over
+the process-wide warm worker pool, and a
+:class:`~repro.exec.cache.CellCache` serves previously computed cells by
+content address, so a repeated audit is nearly free.  Results are
+identical to a serial uncached run, merged back in scenario order.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
 import importlib
 
 from collections.abc import Sequence
 
-from repro.bench import BenchReport, Scenario, assemble_report, run_bench, timed
+from repro.bench import BenchReport, Scenario
 from repro.chaos.harnesses import audit_apps, harness_for
 from repro.chaos.oracle import ObservedLabel, classify_runs
 from repro.chaos.schedule import FaultSchedule
@@ -91,10 +93,12 @@ def _cell_metrics(
     sched = harness.schedule_named(schedule)
     observations = []
     costs = []
+    events = 0
     for seed in seeds:
         observation, outcome = harness.observe_outcome(strategy, sched, seed)
         observations.append(observation)
         costs.append(outcome.metrics.get("coordcost"))
+        events += outcome.cluster.sim.fired
     verdict = classify_runs(observations)
     predicted = harness.predicted(strategy)
     coordcost = aggregate_coordcost(costs)
@@ -110,13 +114,39 @@ def _cell_metrics(
         "consistent": verdict.observed.severity <= _CONSISTENT_SEVERITY,
         "coordinated": strategy in harness.coordinated,
         "runs": len(observations),
+        # total simulated events fired across the cell's runs: feeds the
+        # engine's per-worker events/sec telemetry
+        "events": events,
         "evidence": list(verdict.evidence),
     }
 
 
-def _timed_cell(params: dict) -> tuple[dict, float]:
-    """Pool worker: one cell's metrics plus its own wall-clock seconds."""
-    return timed(_cell_metrics, **params)
+def _cell_cache_fields(scenario: Scenario) -> dict:
+    """The content-address fields of one audit cell.
+
+    The schedule enters as the digest of its *compiled* (horizon-scaled)
+    faults, and the harness's runner kwargs (run params + workload seed)
+    as their own digest — so renaming a schedule does not invalidate the
+    cache, while changing any fault timing, the horizon, or the workload
+    does.
+    """
+    from repro.exec.cache import kwargs_digest, schedule_digest
+
+    params = scenario.params
+    harness = harness_for(params["app"], smoke=params["smoke"])
+    sched = harness.schedule_named(params["schedule"])
+    run_params = dict(harness.profile.run_params(params["smoke"]))
+    run_params["workload_seed"] = harness.profile.workload_seed
+    return {
+        "kind": "audit-cell",
+        "app": params["app"],
+        "strategy": params["strategy"],
+        "schedule": schedule_digest(sched.scaled(harness.horizon)),
+        "horizon": harness.horizon,
+        "smoke": params["smoke"],
+        "seeds": list(params["seeds"]),
+        "runner": kwargs_digest(run_params),
+    }
 
 
 def audit_campaign(
@@ -129,6 +159,7 @@ def audit_campaign(
     reporter=None,
     verbose: bool = False,
     jobs: int = 1,
+    cache=None,
 ) -> BenchReport:
     """Run the full audit sweep and return its :class:`BenchReport`.
 
@@ -136,10 +167,12 @@ def audit_campaign(
     its default schedules (unknown names are skipped per app).  Each
     scenario's metrics carry the predicted and observed labels, their
     severities, the soundness verdict, and the oracle's evidence lines.
-    ``jobs > 1`` executes the (independent, deterministic) cells on a
-    process pool; results are identical to a serial run, merged back in
-    scenario order.  ``apps`` defaults to every registered app carrying an
-    audit profile (:func:`repro.chaos.harnesses.audit_apps`).
+    ``jobs > 1`` executes the (independent, deterministic) cells on the
+    process-wide warm worker pool; a :class:`~repro.exec.cache.CellCache`
+    serves already-computed cells by content address.  Results are
+    identical to a serial uncached run, merged back in scenario order.
+    ``apps`` defaults to every registered app carrying an audit profile
+    (:func:`repro.chaos.harnesses.audit_apps`).
     """
     if apps is None:
         apps = audit_apps()
@@ -164,15 +197,25 @@ def audit_campaign(
                     )
                 )
 
-    if jobs <= 1:
-        return run_bench(
-            name, scenarios, _cell_metrics, reporter=reporter, verbose=verbose
-        )
+    from repro.exec.engine import evaluate
 
-    with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
-        outcomes = list(pool.map(_timed_cell, [s.params for s in scenarios]))
-    return assemble_report(
-        name, scenarios, outcomes, reporter=reporter, verbose=verbose
+    modules = sorted(
+        {
+            scenario.params["app_module"]
+            for scenario in scenarios
+            if scenario.params["app_module"]
+        }
+    )
+    return evaluate(
+        name,
+        scenarios,
+        _cell_metrics,
+        jobs=jobs,
+        cache=cache,
+        cache_fields=_cell_cache_fields,
+        modules=modules,
+        reporter=reporter,
+        verbose=verbose,
     )
 
 
@@ -207,6 +250,7 @@ def matrix_campaign(
     smoke: bool = False,
     seeds: Sequence[int] | None = None,
     jobs: int = 1,
+    cache=None,
     name: str | None = None,
     reporter=None,
     verbose: bool = False,
@@ -230,6 +274,7 @@ def matrix_campaign(
         reporter=reporter,
         verbose=verbose,
         jobs=jobs,
+        cache=cache,
     )
 
 

@@ -24,18 +24,26 @@ registry — the same catalog the benchmarks and the audit campaign use:
     Run the app under each strategy with telemetry attached and print
     the per-strategy coordination-cost breakdown (messages by plane,
     coordination share, decisions, simulated-time overhead).
+    ``blazes stats --engine`` instead prints the evaluation engine's
+    cumulative counters (cells, cache hits, pool utilization,
+    per-worker throughput) from the cache directory's ``stats.json``.
 ``blazes trace APP [--strategy S] [--id LINEAGE] [--limit N] [--json]``
     Run the app with causal span tracing and print the busiest lineage
     ids, or — with ``--id`` — one lineage's causal timeline (the frames,
     votes, replays, and sequencer decisions behind it).
-``blazes audit [--smoke] [--jobs N] [--apps LIST] ...``
+``blazes audit [--smoke] [--jobs N] [--no-cache] [--apps LIST] ...``
     Run the fault-injection audit campaign: every (app, strategy, fault
     schedule) cell is executed for several seeds and the observed anomaly
     is checked against the label the analysis predicted.  ``--jobs N``
-    fans the independent cells out over a process pool.  ``--matrix``
-    restricts the sweep to the Figure 6 query apps, renders the observed
-    per-query coordination-requirement matrix, and additionally exits
-    nonzero when the matrix deviates from the paper's expectation.
+    (or ``BLAZES_JOBS``) fans the independent cells out over the warm
+    worker pool; previously computed cells are served from the
+    content-addressed ``.blazes-cache/`` unless ``--no-cache``.
+    ``--matrix`` restricts the sweep to the Figure 6 query apps, renders
+    the observed per-query coordination-requirement matrix, and
+    additionally exits nonzero when the matrix deviates from the paper's
+    expectation.
+``blazes cache stats|clear [--json]``
+    Inspect or empty the evaluation engine's cell cache.
 
 ``--json`` prints the machine-readable report
 (:func:`repro.core.report.report_to_dict`), so CI and the audit can diff
@@ -138,13 +146,23 @@ def build_parser() -> argparse.ArgumentParser:
     stats_cmd = sub.add_parser(
         "stats", help="per-strategy coordination-cost breakdown"
     )
-    stats_cmd.add_argument("app", help="a registered app name (see `blazes apps`)")
+    stats_cmd.add_argument(
+        "app",
+        nargs="?",
+        default=None,
+        help="a registered app name (see `blazes apps`); omit with --engine",
+    )
     stats_cmd.add_argument(
         "--strategy", default=None, help="one strategy only (all otherwise)"
     )
     stats_cmd.add_argument("--seed", type=int, default=0)
     stats_cmd.add_argument(
         "--smoke", action="store_true", help="CI-sized workload defaults"
+    )
+    stats_cmd.add_argument(
+        "--engine",
+        action="store_true",
+        help="print the evaluation engine's cumulative counters instead",
     )
     stats_cmd.add_argument(
         "--json", action="store_true", help="machine-readable coordcost blocks"
@@ -194,8 +212,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="network seeds per campaign cell",
     )
     audit_cmd.add_argument(
-        "--jobs", type=int, default=1,
-        help="run campaign cells on a process pool of this size",
+        "--jobs", type=int, default=None,
+        help="run campaign cells on the warm worker pool of this size "
+        "(default: $BLAZES_JOBS or serial)",
+    )
+    audit_cmd.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="compute every cell; do not read or write .blazes-cache/",
     )
     audit_cmd.add_argument(
         "--evidence", action="store_true", help="print oracle evidence lines"
@@ -205,6 +229,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     audit_cmd.add_argument(
         "--no-report", action="store_true", help="skip writing BENCH_*.json"
+    )
+
+    cache_cmd = sub.add_parser(
+        "cache", help="inspect or clear the evaluation engine's cell cache"
+    )
+    cache_cmd.add_argument(
+        "action", choices=("stats", "clear"), help="what to do with the cache"
+    )
+    cache_cmd.add_argument(
+        "--json", action="store_true", help="machine-readable cache stats"
     )
     return parser
 
@@ -229,6 +263,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_trace(args)
         if args.command == "audit":
             return _cmd_audit(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
     except BlazesError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -383,10 +419,11 @@ def _cmd_run(args) -> int:
         if match and match.group(1) in overrides:
             raise BlazesError(f"bad --set override: {exc}") from exc
         raise
+    rundir_path = None
     if args.rundir:
         from repro.obs.rundir import write_rundir
 
-        write_rundir(args.rundir, outcome, telemetry=telemetry)
+        rundir_path = write_rundir(args.rundir, outcome, telemetry=telemetry)
     if args.json:
         payload = outcome.to_dict()
         print(json.dumps(payload, indent=2, default=repr))
@@ -413,8 +450,8 @@ def _cmd_run(args) -> int:
             print(coordcost_line(block))
             if args.profile and "profile" in outcome.metrics:
                 print(render_profile(outcome.metrics["profile"]))
-    if args.rundir:
-        print(f"wrote run directory {args.rundir}", file=sys.stderr)
+    if rundir_path is not None:
+        print(f"wrote run directory {rundir_path}", file=sys.stderr)
     return 0
 
 
@@ -424,6 +461,18 @@ def _cmd_stats(args) -> int:
     from repro.obs.render import render_stats
     from repro.obs.telemetry import Telemetry
 
+    if args.engine:
+        from repro.exec import read_engine_stats
+        from repro.obs.render import render_engine
+
+        stats = read_engine_stats()
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+        else:
+            print(render_engine(stats))
+        return 0
+    if args.app is None:
+        raise BlazesError("blazes stats needs an app name (or --engine)")
     app = get_app(args.app)
     if args.strategy is not None:
         if args.strategy not in app.strategies:
@@ -493,6 +542,8 @@ def _cmd_audit(args) -> int:
     )
     from repro.chaos.campaign import DEFAULT_SEEDS, DEFAULT_SMOKE_SEEDS
     from repro.core.report import audit_to_dict
+    from repro.exec import CellCache, resolve_jobs
+    from repro.obs.render import engine_line
 
     if args.matrix and args.apps:
         raise BlazesError("--matrix chooses its own apps; drop --apps")
@@ -504,6 +555,8 @@ def _cmd_audit(args) -> int:
     else:
         seeds = DEFAULT_SMOKE_SEEDS if args.smoke else DEFAULT_SEEDS
     reporter = None if args.no_report else JsonReporter()
+    jobs = resolve_jobs(args.jobs)
+    cache = None if args.no_cache else CellCache()
     if args.matrix:
         name = "fig6-matrix-smoke" if args.smoke else "fig6-matrix"
         report = matrix_campaign(
@@ -511,7 +564,8 @@ def _cmd_audit(args) -> int:
             seeds=seeds,
             name=name,
             reporter=reporter,
-            jobs=max(1, args.jobs),
+            jobs=jobs,
+            cache=cache,
         )
         ok = campaign_is_sound(report) and matrix_is_expected(report)
     else:
@@ -522,22 +576,56 @@ def _cmd_audit(args) -> int:
             seeds=seeds,
             name=name,
             reporter=reporter,
-            jobs=max(1, args.jobs),
+            jobs=jobs,
+            cache=cache,
         )
         ok = campaign_is_sound(report)
     if args.json:
         payload = audit_to_dict(report)
         if args.matrix:
             payload["summary"]["matrix_expected"] = matrix_is_expected(report)
+        if report.engine is not None:
+            payload["engine"] = report.engine
         print(json.dumps(payload, indent=2))
     else:
         if args.matrix:
             print(render_matrix(report))
             print()
         print(render_audit(report, evidence=args.evidence))
+        if report.engine is not None:
+            print()
+            print(engine_line(report.engine))
         if reporter is not None:
             print(f"\nwrote {reporter.path_for(name)}")
     return 0 if ok else 4
+
+
+def _cmd_cache(args) -> int:
+    from repro.exec import CellCache, read_engine_stats
+
+    cache = CellCache()
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} cached cells from {cache.directory}")
+        return 0
+    stats = cache.stats()
+    if args.json:
+        payload = {**stats, "engine": read_engine_stats(cache.directory)}
+        payload.pop("hits", None)
+        payload.pop("misses", None)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"cache directory : {stats['directory']}")
+    print(f"cached cells    : {stats['entries']:,}")
+    print(f"size            : {stats['size_bytes']:,} bytes")
+    totals = read_engine_stats(cache.directory).get("totals") or {}
+    if totals:
+        print(
+            f"lifetime        : {totals.get('cache_hits', 0):,} hits, "
+            f"{totals.get('cache_misses', 0):,} misses over "
+            f"{totals.get('runs', 0):,} runs"
+        )
+    return 0
 
 
 if __name__ == "__main__":

@@ -60,3 +60,8 @@ class ApiError(BlazesError):
 class ObsError(BlazesError):
     """An observability artifact (run directory, telemetry schema) is
     missing, malformed, or carries an unsupported schema version."""
+
+
+class ExecError(BlazesError):
+    """The parallel evaluation engine (worker pool, cell cache) was
+    misconfigured or driven into an invalid state."""

@@ -1,0 +1,62 @@
+"""Canonical forms: hash-stable JSON for cache keys and differential checks.
+
+The evaluation engine addresses cells by *content* and the parallel
+correctness tests compare reports across execution modes; both need one
+canonical rendering that is independent of dict insertion order, container
+flavor (tuple vs list, set vs sorted list), and float formatting noise.
+:func:`canonical` produces that rendering as plain JSON-able data,
+:func:`canonical_json` serializes it deterministically, and
+:func:`content_digest` hashes it.  :func:`report_digest` applies the same
+treatment to a whole :class:`~repro.bench.BenchReport`, ignoring the
+volatile wall/cpu timings so a serial run, a pooled run, and a cache-served
+run of the same cells all digest identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+__all__ = ["canonical", "canonical_json", "content_digest", "report_digest"]
+
+
+def canonical(value: Any) -> Any:
+    """A JSON-able canonical form: dicts keyed by str, sets sorted,
+    tuples as lists, floats rounded past replay precision, rest repr'd."""
+    if isinstance(value, dict):
+        return {str(key): canonical(item) for key, item in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [canonical(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((canonical(item) for item in value), key=repr)
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return round(value, 12)
+    return repr(value)
+
+
+def canonical_json(value: Any) -> str:
+    """The deterministic JSON rendering of :func:`canonical`."""
+    return json.dumps(canonical(value), sort_keys=True, separators=(",", ":"))
+
+
+def content_digest(value: Any) -> str:
+    """A sha256 hex digest of the canonical JSON rendering."""
+    return hashlib.sha256(canonical_json(value).encode()).hexdigest()
+
+
+def report_digest(report) -> str:
+    """One digest over a report's (name, params, metrics) cells.
+
+    Wall-clock and CPU timings are deliberately excluded: two runs of the
+    same deterministic cells must digest identically regardless of how
+    (serially, on a pool, from the cache) they were produced.
+    """
+    return content_digest(
+        [
+            {"name": result.name, "params": result.params, "metrics": result.metrics}
+            for result in report
+        ]
+    )

@@ -1,0 +1,193 @@
+"""The evaluation engine: one entry point for every cell sweep.
+
+:func:`evaluate` is the single execution path behind ``blazes audit``,
+``blazes audit --matrix``, the figure benchmarks, and seed-digest
+regeneration.  It takes an ordinary :class:`~repro.bench.Scenario` list
+plus the module-level measurement function and
+
+1. serves every cell it can from the content-addressed
+   :class:`~repro.exec.cache.CellCache` (when one is supplied),
+2. computes the remaining cells — serially, or fanned out over the
+   process-wide warm :class:`~repro.exec.pool.WorkerPool` when
+   ``jobs > 1``,
+3. merges everything back **in scenario order** into a standard
+   :class:`~repro.bench.BenchReport`, indistinguishable from a serial
+   uncached run, and
+4. attaches an ``engine`` accounting block (cells, hits, misses, pool
+   utilization, per-worker throughput) to the report, mirrors it into
+   the active :class:`~repro.obs.telemetry.Telemetry` hub, and folds it
+   into the cache directory's cumulative ``stats.json`` for
+   ``blazes stats --engine``.
+
+``resolve_jobs`` maps the CLI convention onto a worker count: an
+explicit ``--jobs`` wins, else ``BLAZES_JOBS``, else serial.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from typing import Any
+
+from repro.errors import ExecError
+from repro.exec.cache import CellCache, record_engine_stats
+from repro.exec.pool import shared_pool
+
+__all__ = ["JOBS_ENV", "bench_cache_fields", "evaluate", "resolve_jobs"]
+
+JOBS_ENV = "BLAZES_JOBS"
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """The effective worker count: explicit value, else ``$BLAZES_JOBS``,
+    else 1 (serial)."""
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError as exc:
+            raise ExecError(f"{JOBS_ENV}={raw!r} is not an integer") from exc
+    if jobs < 1:
+        raise ExecError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def bench_cache_fields(bench: str) -> Callable[[Any], dict[str, Any]]:
+    """The generic cache-key fields for a figure benchmark's scenarios:
+    the bench name plus the scenario's full parameter point."""
+
+    def fields(scenario) -> dict[str, Any]:
+        return {
+            "kind": "bench",
+            "bench": bench,
+            "scenario": scenario.name,
+            "params": dict(scenario.params),
+        }
+
+    return fields
+
+
+def _compute_serial(fn, params_list):
+    from repro.bench.timing import timed_detail
+
+    return [timed_detail(fn, **params) for params in params_list]
+
+
+def evaluate(
+    name: str,
+    scenarios: Iterable[Any],
+    fn: Callable[..., Mapping[str, Any]],
+    *,
+    jobs: int = 1,
+    cache: CellCache | None = None,
+    cache_fields: Callable[[Any], Mapping[str, Any]] | None = None,
+    modules: Sequence[str] = (),
+    reporter: Any | None = None,
+    verbose: bool = False,
+):
+    """Evaluate every scenario through the cache and the warm pool.
+
+    ``fn`` must be a module-level (picklable) callable taking the
+    scenario's params as keyword arguments and returning a metric
+    mapping, exactly as :func:`repro.bench.run_bench` expects.
+    ``cache_fields`` maps a scenario to the key fields that make its
+    result content-addressable; without it (or without ``cache``) every
+    cell is computed.  Cached metrics round-trip through JSON, so tuples
+    come back as lists — measurement functions return JSON-shaped
+    metrics already (they feed ``BENCH_*.json``).
+
+    Returns the assembled :class:`~repro.bench.BenchReport` with the
+    engine accounting block attached as ``report.engine``.
+    """
+    from repro.bench.runner import assemble_report
+
+    jobs = resolve_jobs(jobs)
+    scenarios = list(scenarios)
+    start = time.perf_counter()
+
+    outcomes: list[tuple[Any, float, float | None] | None] = [None] * len(scenarios)
+    keys: list[str | None] = [None] * len(scenarios)
+    fields: list[Mapping[str, Any] | None] = [None] * len(scenarios)
+    pending: list[int] = []
+    hits = 0
+    for index, scenario in enumerate(scenarios):
+        if cache is not None and cache_fields is not None:
+            fields[index] = cache_fields(scenario)
+            key = cache.key(fields[index])
+            keys[index] = key
+            entry = cache.get(key)
+            if entry is not None:
+                outcomes[index] = (
+                    entry["metrics"],
+                    entry.get("wall_seconds", 0.0),
+                    entry.get("cpu_seconds"),
+                )
+                hits += 1
+                continue
+        pending.append(index)
+
+    pool_stats = None
+    if pending:
+        params_list = [dict(scenarios[index].params) for index in pending]
+        if jobs > 1:
+            pool = shared_pool(jobs)
+            computed = pool.run(fn, params_list, modules=tuple(modules))
+            pool_stats = pool.last
+        else:
+            computed = _compute_serial(fn, params_list)
+        for index, outcome in zip(pending, computed):
+            outcomes[index] = outcome
+            if cache is not None and keys[index] is not None:
+                metrics, wall, cpu = outcome
+                cache.put(
+                    keys[index],
+                    metrics,
+                    wall_seconds=wall,
+                    cpu_seconds=cpu,
+                    fields=fields[index],
+                )
+
+    engine = {
+        "name": name,
+        "jobs": jobs,
+        "cells": len(scenarios),
+        "computed": len(pending),
+        "cache_enabled": cache is not None,
+        "cache_hits": hits,
+        "cache_misses": len(pending) if cache is not None else 0,
+        "wall_seconds": time.perf_counter() - start,
+        "pool": pool_stats.to_dict() if pool_stats is not None else None,
+        "cache": cache.stats() if cache is not None else None,
+    }
+    _note_telemetry(engine)
+    if cache is not None:
+        record_engine_stats(engine, cache.directory)
+
+    report = assemble_report(
+        name, scenarios, outcomes, reporter=reporter, verbose=verbose
+    )
+    report.engine = engine
+    return report
+
+
+def _note_telemetry(engine: Mapping[str, Any]) -> None:
+    """Mirror one engine run into the active telemetry hub, if any."""
+    from repro.obs import telemetry
+
+    hub = telemetry.current()
+    if hub is None:
+        return
+    hub.count("engine.cells", "computed", by=engine["computed"])
+    hub.count("engine.cells", "cached", by=engine["cache_hits"])
+    if engine["cache_enabled"]:
+        hub.count("engine.cache", "hit", by=engine["cache_hits"])
+        hub.count("engine.cache", "miss", by=engine["cache_misses"])
+    pool = engine.get("pool")
+    if pool:
+        hub.gauge("engine.pool.utilization", pool["utilization"])
+        hub.observe("engine.pool.wall_seconds", pool["wall_seconds"])
+        for pid, worker in pool["workers"].items():
+            hub.gauge(f"engine.worker.{pid}.events_per_second", worker["events_per_second"])

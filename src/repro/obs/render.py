@@ -14,6 +14,8 @@ from repro.obs.spans import SpanTracker, format_slice
 
 __all__ = [
     "coordcost_line",
+    "engine_line",
+    "render_engine",
     "render_lineages",
     "render_profile",
     "render_stats",
@@ -30,6 +32,60 @@ def coordcost_line(report: dict[str, Any]) -> str:
         f"{report.get('coordination_decisions', 0)} decisions, "
         f"{report.get('sim_time_overhead', 0.0):.4f}s sim-time overhead"
     )
+
+
+def engine_line(engine: dict[str, Any]) -> str:
+    """A one-line summary of one evaluation-engine run."""
+    parts = [
+        f"engine: {engine.get('cells', 0)} cells",
+        f"{engine.get('computed', 0)} computed",
+    ]
+    if engine.get("cache_enabled"):
+        parts.append(
+            f"cache {engine.get('cache_hits', 0)} hit/"
+            f"{engine.get('cache_misses', 0)} miss"
+        )
+    pool = engine.get("pool")
+    if pool:
+        parts.append(
+            f"pool jobs={pool.get('jobs', 0)} "
+            f"util={pool.get('utilization', 0.0):.0%}"
+        )
+    parts.append(f"{engine.get('wall_seconds', 0.0):.2f}s")
+    return ", ".join(parts)
+
+
+def render_engine(stats: dict[str, Any]) -> str:
+    """The ``blazes stats --engine`` section: cumulative engine counters."""
+    totals = stats.get("totals") or {}
+    if not totals:
+        return "no engine runs recorded (run an audit or benchmark with caching on)"
+    lines = [
+        "evaluation engine — cumulative",
+        f"  runs            : {totals.get('runs', 0):,}",
+        f"  cells           : {totals.get('cells', 0):,}",
+        f"  computed        : {totals.get('computed', 0):,}",
+        f"  cache hits      : {totals.get('cache_hits', 0):,}",
+        f"  cache misses    : {totals.get('cache_misses', 0):,}",
+        f"  pool tasks      : {totals.get('pool_tasks', 0):,}",
+        f"  pool busy (s)   : {totals.get('pool_busy_seconds', 0.0):.2f}",
+        f"  pool wall (s)   : {totals.get('pool_wall_seconds', 0.0):.2f}",
+        f"  events          : {totals.get('events', 0):,}",
+    ]
+    last = stats.get("last") or {}
+    pool = last.get("pool") or {}
+    workers = pool.get("workers") or {}
+    if workers:
+        lines.append("  last run workers:")
+        for pid, worker in sorted(workers.items()):
+            lines.append(
+                f"    pid {pid}: {worker.get('tasks', 0)} tasks, "
+                f"{worker.get('busy_seconds', 0.0):.2f}s busy, "
+                f"{worker.get('events_per_second', 0.0):,.0f} events/s"
+            )
+    if last:
+        lines.append(f"  last run: {engine_line(last)}")
+    return "\n".join(lines)
 
 
 def render_stats(app_name: str, rows: list[tuple[str, dict[str, Any]]]) -> str:

@@ -23,7 +23,10 @@ against every artifact.
 
 from __future__ import annotations
 
+import errno
 import json
+import os
+import tempfile
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any
@@ -72,11 +75,21 @@ def write_rundir(directory: str | Path, outcome, telemetry=None) -> Path:
     (``outcome.telemetry``); its coordcost block lands in
     ``coordcost.json`` and its span tracker (when tracing) in
     ``spans.jsonl``.
+
+    Collision-safe under concurrent writers: the artifacts are built in a
+    private temporary directory and published with one atomic rename, so
+    a reader never observes a half-written run directory.  When the
+    target already holds a run (e.g. several pooled audit cells archiving
+    under the same name), the directory lands under a unique ``-N``
+    suffix instead of clobbering it — always check the *returned* path.
     """
     from repro.obs.coordcost import coordcost_report
 
-    path = Path(directory)
-    path.mkdir(parents=True, exist_ok=True)
+    target = Path(directory)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    path = Path(
+        tempfile.mkdtemp(dir=target.parent, prefix=f".{target.name or 'run'}.")
+    )
     hub = telemetry if telemetry is not None else getattr(outcome, "telemetry", None)
     cluster = outcome.cluster
     sim = getattr(cluster, "sim", None)
@@ -135,7 +148,22 @@ def write_rundir(directory: str | Path, outcome, telemetry=None) -> Path:
         if spans is not None:
             for row in spans.to_rows():
                 handle.write(json.dumps(row) + "\n")
-    return path
+
+    # Publish atomically.  rename(2) succeeds over a missing or empty
+    # target and fails with EEXIST/ENOTEMPTY over an occupied one, in
+    # which case the next free ``-N`` sibling takes the run.
+    os.chmod(path, 0o755)  # mkdtemp defaults to 0700
+    candidate = target
+    suffix = 2
+    while True:
+        try:
+            os.rename(path, candidate)
+            return candidate
+        except OSError as exc:
+            if exc.errno not in (errno.EEXIST, errno.ENOTEMPTY):
+                raise
+            candidate = target.with_name(f"{target.name}-{suffix}")
+            suffix += 1
 
 
 def _load_json(path: Path) -> Any:

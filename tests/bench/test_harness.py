@@ -15,6 +15,7 @@ from repro.bench import (
     run_bench,
     sweep,
     timed,
+    timed_detail,
 )
 from repro.errors import BenchError
 
@@ -95,3 +96,28 @@ def test_stopwatch_and_timed():
     assert watch.seconds >= 0.0
     value, seconds = timed(lambda a: a + 1, 41)
     assert value == 42 and seconds >= 0.0
+
+
+def test_timed_detail_measures_wall_and_cpu():
+    value, wall, cpu = timed_detail(lambda a: sum(range(a)), 10_000)
+    assert value == sum(range(10_000))
+    assert wall >= 0.0 and cpu >= 0.0
+
+
+def test_run_bench_records_cpu_seconds_per_scenario():
+    report = run_bench("toy", sweep("x{x}", {"x": (2,)}), toy_measure)
+    row = report.row("x2")
+    assert row.cpu_seconds is not None and row.cpu_seconds >= 0.0
+    # ...and the JSON payload carries it alongside wall_seconds
+    payload = report.to_dict()
+    assert "cpu_seconds" in payload["scenarios"][0]
+
+
+def test_bench_json_environment_records_cpu_count(tmp_path):
+    import json
+    import os
+
+    reporter = JsonReporter(tmp_path)
+    run_bench("figZ", [Scenario("only", {})], lambda: {"ok": True}, reporter=reporter)
+    payload = json.loads(reporter.path_for("figZ").read_text())
+    assert payload["environment"]["cpu_count"] == os.cpu_count()

@@ -1,0 +1,123 @@
+"""The warm worker pool: ordered merges, warm reuse, and accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExecError
+from repro.exec import PoolStats, WorkerPool, shared_pool, shutdown_shared_pool
+
+
+@pytest.fixture(autouse=True)
+def _isolated_shared_pool():
+    """Never leak a shared pool (or its workers) across tests."""
+    shutdown_shared_pool()
+    yield
+    shutdown_shared_pool()
+
+
+def square(*, x: int) -> dict:
+    return {"square": x * x, "events": x}
+
+
+def explode(*, x: int) -> dict:
+    raise ValueError(f"cell {x} exploded")
+
+
+def test_pool_runs_in_input_order():
+    pool = WorkerPool(2)
+    try:
+        rows = pool.run(square, [{"x": x} for x in (3, 1, 4, 1, 5)])
+    finally:
+        pool.shutdown()
+    assert [metrics["square"] for metrics, _, _ in rows] == [9, 1, 16, 1, 25]
+    # every row carries its own wall/cpu timing
+    assert all(wall >= 0.0 and cpu >= 0.0 for _, wall, cpu in rows)
+
+
+def test_pool_workers_stay_warm_across_dispatches():
+    pool = WorkerPool(2)
+    try:
+        pool.run(square, [{"x": 1}, {"x": 2}])
+        pool.run(square, [{"x": 3}, {"x": 4}])
+        assert pool.spawned == 1  # the second dispatch reused the workers
+        assert pool.lifetime.tasks == 4
+        assert pool.lifetime.dispatches == 2
+    finally:
+        pool.shutdown()
+
+
+def test_pool_resize_respawns_with_new_worker_count():
+    pool = WorkerPool(1)
+    try:
+        pool.run(square, [{"x": 1}])
+        pool.resize(2)
+        assert not pool.alive  # respawn deferred to the next dispatch
+        rows = pool.run(square, [{"x": 2}, {"x": 3}])
+        assert pool.spawned == 2
+        assert pool.jobs == 2
+        assert [m["square"] for m, _, _ in rows] == [4, 9]
+    finally:
+        pool.shutdown()
+
+
+def test_pool_stats_count_tasks_events_and_utilization():
+    pool = WorkerPool(2)
+    try:
+        pool.run(square, [{"x": x} for x in range(1, 9)])
+    finally:
+        pool.shutdown()
+    stats = pool.last
+    assert stats.tasks == 8
+    assert stats.events == sum(range(1, 9))
+    assert 1 <= stats.chunks <= 8
+    assert 0.0 <= stats.utilization <= 1.0
+    payload = stats.to_dict()
+    assert payload["tasks"] == 8
+    for worker in payload["workers"].values():
+        assert worker["events_per_second"] >= 0.0
+
+
+def test_pool_stats_merge_accumulates():
+    lifetime = PoolStats(jobs=2)
+    dispatch = PoolStats(jobs=2, dispatches=1)
+    dispatch.note_task(101, wall=0.5, cpu=0.4, events=10)
+    dispatch.note_task(102, wall=0.25, cpu=0.2, events=5)
+    lifetime.merge(dispatch)
+    lifetime.merge(dispatch)
+    assert lifetime.tasks == 4
+    assert lifetime.events == 30
+    assert lifetime.busy_seconds == pytest.approx(1.5)
+    assert lifetime.workers[101]["tasks"] == 2
+
+
+def test_pool_propagates_worker_exceptions():
+    pool = WorkerPool(2)
+    try:
+        with pytest.raises(ValueError, match="exploded"):
+            pool.run(explode, [{"x": 1}])
+    finally:
+        pool.shutdown()
+
+
+def test_pool_rejects_bad_worker_counts():
+    with pytest.raises(ExecError):
+        WorkerPool(0)
+    pool = WorkerPool(1)
+    with pytest.raises(ExecError):
+        pool.resize(0)
+
+
+def test_shared_pool_is_one_pool_resized_on_demand():
+    first = shared_pool(2)
+    assert shared_pool(2) is first  # same jobs: the same warm pool
+    resized = shared_pool(3)
+    assert resized is first and resized.jobs == 3
+    shutdown_shared_pool()
+    assert shared_pool(2) is not first  # a shutdown pool is replaced
+
+
+def test_pool_empty_dispatch_is_a_noop():
+    pool = WorkerPool(2)
+    assert pool.run(square, []) == []
+    assert not pool.alive  # nothing to do: no workers were spawned

@@ -3,7 +3,9 @@
 Every registered app, under every strategy, at several seeds, is run to
 quiescence and hashed — trace rows, virtual end time, events fired, and
 the metrics summary, canonicalized so the digest is stable across hash
-randomization and Python minor versions.  The digests are checked in
+randomization and Python minor versions.  The canonicalization and
+hashing live in :mod:`repro.exec.digests` (moved verbatim from here, so
+the checked-in pins never shifted).  The digests are checked in
 (``seed_digests.json``): any kernel, engine, or app change that silently
 perturbs deterministic replay fails this test loudly instead of quietly
 shifting every figure and audit verdict.
@@ -12,71 +14,34 @@ When a change *intentionally* alters replay (a new RNG draw, a different
 message granularity), regenerate the pins and review the diff::
 
     REPRO_REGEN_DIGESTS=1 python -m pytest tests/integration/test_seed_digests.py
+
+Regeneration runs through the evaluation engine, so ``BLAZES_JOBS=4``
+fans the (app, strategy, seed) cells out over the warm worker pool.
 """
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 from pathlib import Path
 
 import pytest
 
-from repro.api.registry import app_names, get_app
+from repro.exec.digests import digest_cells
+from repro.exec.engine import resolve_jobs
 
 DIGEST_PATH = Path(__file__).parent / "seed_digests.json"
 SEEDS = (1, 2)
 
 
-def _canon(value):
-    """A hash-stable canonical form: sets/dicts ordered, floats rounded."""
-    if isinstance(value, (frozenset, set)):
-        return ("set",) + tuple(sorted((_canon(v) for v in value), key=repr))
-    if isinstance(value, dict):
-        return ("dict",) + tuple(
-            sorted(((_canon(k), _canon(v)) for k, v in value.items()), key=repr)
-        )
-    if isinstance(value, (list, tuple)):
-        return tuple(_canon(v) for v in value)
-    if isinstance(value, float):
-        return round(value, 12)
-    return value
-
-
-def _digest(outcome) -> str:
-    cluster = outcome.cluster
-    payload = repr(
-        _canon(
-            (
-                tuple(cluster.trace._rows),
-                cluster.sim.now,
-                cluster.sim.fired,
-                outcome.metrics,
-            )
-        )
-    )
-    return hashlib.sha256(payload.encode()).hexdigest()[:16]
-
-
-def _current_digests() -> dict[str, str]:
-    digests = {}
-    for name in app_names():
-        app = get_app(name)
-        for strategy in app.strategies:
-            for seed in SEEDS:
-                outcome = app.run(strategy, seed=seed, smoke=True)
-                digests[f"{name}/{strategy}/{seed}"] = _digest(outcome)
-    return digests
-
-
 def test_seed_digests_pinned():
-    current = _current_digests()
     if os.environ.get("REPRO_REGEN_DIGESTS") == "1":
+        current = digest_cells(SEEDS, jobs=resolve_jobs())
         DIGEST_PATH.write_text(
             json.dumps(current, indent=2, sort_keys=True) + "\n"
         )
         pytest.skip(f"regenerated {len(current)} seed digests")
+    current = digest_cells(SEEDS)
     assert DIGEST_PATH.exists(), (
         "seed_digests.json is missing; regenerate with REPRO_REGEN_DIGESTS=1"
     )

@@ -77,6 +77,42 @@ def test_nonexistent_directory_is_rejected(tmp_path):
         validate_rundir(tmp_path / "nope")
 
 
+def test_rundir_collision_lands_on_suffixed_sibling(tmp_path, sealed_outcome):
+    outcome, hub = sealed_outcome
+    first = write_rundir(tmp_path / "run", outcome, telemetry=hub)
+    second = write_rundir(tmp_path / "run", outcome, telemetry=hub)
+    third = write_rundir(tmp_path / "run", outcome, telemetry=hub)
+    assert first == tmp_path / "run"
+    assert second == tmp_path / "run-2"
+    assert third == tmp_path / "run-3"
+    for rundir in (first, second, third):
+        validate_rundir(rundir)
+
+
+def test_rundir_concurrent_writers_never_collide(tmp_path, sealed_outcome):
+    """The pooled-audit regression: many writers, one target name.
+
+    Every writer must come back with its own fully-formed directory —
+    no clobbered artifacts, no half-published runs, no lost writers.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    outcome, hub = sealed_outcome
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        futures = [
+            pool.submit(write_rundir, tmp_path / "run", outcome, hub)
+            for _ in range(8)
+        ]
+        paths = [future.result() for future in futures]
+    assert len(set(paths)) == 8  # every writer got a distinct directory
+    for rundir in paths:
+        info = validate_rundir(rundir)
+        assert info["meta"]["app"] == "adnet"
+    # no temp build directories leak into the parent
+    leftovers = [p.name for p in tmp_path.iterdir() if p.name.startswith(".")]
+    assert leftovers == []
+
+
 def test_rundir_without_hub_still_validates(tmp_path):
     outcome = get_app("wordcount").run("eager", seed=1, smoke=True)
     rundir = write_rundir(tmp_path / "plain", outcome)

@@ -15,9 +15,10 @@ import json
 import pytest
 
 from repro.api import get_app
+from repro.exec.digests import outcome_digest, pin_canon
 from repro.obs.telemetry import Telemetry
 
-from tests.integration.test_seed_digests import DIGEST_PATH, _canon, _digest
+from tests.integration.test_seed_digests import DIGEST_PATH
 
 # One cell per coordination mechanism: storm sealing, seal protocol over
 # znodes, the sequencer, a bloom query, and the transactional topology.
@@ -35,7 +36,7 @@ SEED = 1
 def _digest_with_metrics(outcome, metrics) -> str:
     cluster = outcome.cluster
     payload = repr(
-        _canon(
+        pin_canon(
             (tuple(cluster.trace._rows), cluster.sim.now, cluster.sim.fired, metrics)
         )
     )
@@ -59,7 +60,7 @@ def test_telemetry_does_not_perturb_replay(app_name, strategy):
         if name not in ("coordcost", "profile")
     }
     assert base_metrics == plain.metrics
-    assert _digest_with_metrics(traced, base_metrics) == _digest(plain)
+    assert _digest_with_metrics(traced, base_metrics) == outcome_digest(plain)
 
     # the instrumented run really did observe something
     assert traced.metrics["coordcost"]["messages_sent"] > 0

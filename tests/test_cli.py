@@ -26,6 +26,13 @@ streams:
 """
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache_dir(tmp_path, monkeypatch):
+    """Audits cache by default; never let a test write ``.blazes-cache/``
+    into the working tree (or hit another test's entries)."""
+    monkeypatch.setenv("BLAZES_CACHE_DIR", str(tmp_path / "cell-cache"))
+
+
 @pytest.fixture
 def spec_file(tmp_path):
     def write(sealed: bool):
@@ -212,7 +219,7 @@ def test_audit_subcommand_no_report(tmp_path, monkeypatch, capsys):
     out = capsys.readouterr().out
     assert "wordcount/eager" in out
     assert "across seeds" in out  # evidence lines printed
-    assert not list(tmp_path.iterdir())
+    assert not list(tmp_path.glob("BENCH_*"))  # --no-report wrote nothing
 
 
 def test_audit_matrix_subcommand(tmp_path, monkeypatch, capsys):
@@ -349,3 +356,95 @@ def test_trace_unknown_lineage_suggests_known_ids(capsys):
     out = capsys.readouterr().out
     assert "no span events for 'batch:999'" in out
     assert "known lineages" in out
+
+
+AUDIT_ARGS = [
+    "audit", "--smoke", "--apps", "wordcount", "--seeds", "7",
+    "--no-report", "--json",
+]
+
+
+def _audit_payload(capsys, *extra):
+    assert main(AUDIT_ARGS + list(extra)) == 0
+    return json.loads(capsys.readouterr().out)
+
+
+def test_audit_caches_cells_across_invocations(capsys):
+    cold = _audit_payload(capsys)
+    assert cold["engine"]["cache_enabled"] is True
+    assert cold["engine"]["cache_hits"] == 0
+    assert cold["engine"]["cache_misses"] == cold["engine"]["cells"]
+    warm = _audit_payload(capsys)
+    assert warm["engine"]["cache_hits"] == warm["engine"]["cells"]
+    assert warm["engine"]["computed"] == 0
+    # same cells, same verdicts: only the engine accounting may differ
+    cold.pop("engine"), warm.pop("engine")
+    assert cold == warm
+
+
+def test_audit_no_cache_flag_computes_everything(capsys):
+    _audit_payload(capsys)  # populate the cache...
+    payload = _audit_payload(capsys, "--no-cache")  # ...then bypass it
+    assert payload["engine"]["cache_enabled"] is False
+    assert payload["engine"]["computed"] == payload["engine"]["cells"]
+
+
+def test_audit_jobs_flag_is_byte_identical_to_serial(capsys):
+    from repro.exec import shutdown_shared_pool
+
+    try:
+        serial = _audit_payload(capsys, "--no-cache")
+        pooled = _audit_payload(capsys, "--no-cache", "--jobs", "2")
+    finally:
+        shutdown_shared_pool()
+    assert pooled["engine"]["jobs"] == 2
+    assert pooled["engine"]["pool"]["tasks"] == pooled["engine"]["cells"]
+    serial.pop("engine"), pooled.pop("engine")
+    assert serial == pooled
+
+
+def test_audit_text_mode_prints_engine_line(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+    assert main([
+        "audit", "--smoke", "--apps", "wordcount", "--seeds", "7", "--no-report",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "engine:" in out and "cache" in out
+
+
+def test_audit_bad_jobs_is_a_clean_error(capsys):
+    assert main(AUDIT_ARGS + ["--jobs", "0"]) == 1
+    assert "jobs" in capsys.readouterr().err
+
+
+def test_cache_subcommand_stats_and_clear(capsys):
+    _audit_payload(capsys)  # populate
+    assert main(["cache", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "cached cells" in out and "lifetime" in out
+    assert main(["cache", "stats", "--json"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["entries"] > 0
+    assert stats["engine"]["totals"]["runs"] >= 1
+    assert main(["cache", "clear"]) == 0
+    assert "cleared" in capsys.readouterr().out
+    assert main(["cache", "stats", "--json"]) == 0
+    assert json.loads(capsys.readouterr().out)["entries"] == 0
+
+
+def test_stats_engine_reports_cumulative_counters(capsys):
+    assert main(["stats", "--engine"]) == 0
+    assert "no engine runs recorded" in capsys.readouterr().out
+    _audit_payload(capsys)
+    assert main(["stats", "--engine"]) == 0
+    out = capsys.readouterr().out
+    assert "evaluation engine — cumulative" in out
+    assert "cache misses" in out
+    assert main(["stats", "--engine", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["totals"]["runs"] >= 1
+
+
+def test_stats_without_app_or_engine_is_a_clean_error(capsys):
+    assert main(["stats"]) == 1
+    assert "--engine" in capsys.readouterr().err
