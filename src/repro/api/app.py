@@ -93,6 +93,10 @@ class RunOutcome:
     # The telemetry hub the run was instrumented with (None when the run
     # was uninstrumented); carries the span tracker for rundirs/trace.
     telemetry: Any = dataclasses.field(default=None, compare=False, repr=False)
+    # Which execution backend carried the messages: "sim" (discrete-event
+    # kernel) or "socket" (real TCP transport, repro.net).  ``backend``
+    # above is the app substrate (storm/bloom) — orthogonal axes.
+    transport: str = "sim"
 
     def to_dict(self) -> dict[str, Any]:
         """The JSON-serializable view of this outcome."""
@@ -101,6 +105,7 @@ class RunOutcome:
             "strategy": self.strategy,
             "seed": self.seed,
             "backend": self.backend,
+            "transport": self.transport,
             "metrics": dict(self.metrics),
         }
 
@@ -487,6 +492,8 @@ class BlazesApp:
         seed: int = 0,
         smoke: bool = False,
         telemetry: Any = None,
+        backend: str | None = None,
+        timeout: float | None = None,
         **kwargs: Any,
     ) -> RunOutcome:
         """Execute the app under one strategy and return a :class:`RunOutcome`.
@@ -502,38 +509,72 @@ class BlazesApp:
         when the hub carries a profiler.  Instrumentation is observe-only:
         trace rows, virtual time, and events fired are byte-identical to
         an uninstrumented run.
+
+        ``backend`` picks the execution backend: ``"sim"`` (the
+        discrete-event kernel, the default) or ``"socket"`` (the real TCP
+        transport of :mod:`repro.net`); ``None`` defers to
+        ``$BLAZES_BACKEND``.  ``timeout`` bounds a socket run in wall
+        seconds — on expiry the services tear down cleanly and
+        :class:`repro.net.services.SocketTimeout` is raised.
         """
+        import contextlib
+
+        from repro.net.context import (
+            NetConfig,
+            note_backend,
+            resolve_backend,
+            socket_backend,
+        )
+
         if self._runner is None:
             raise ApiError(f"app {self.name!r} declares no runner")
+        exec_backend = resolve_backend(backend)
+        if timeout is not None and exec_backend != "socket":
+            raise ApiError("timeout applies to the socket backend only")
         spec = self.strategy_spec(strategy)
         params: dict[str, Any] = dict(self._defaults)
         if smoke:
             params.update(self._smoke_defaults)
         params.update(spec.run_params)
         params.update(kwargs)
-        if telemetry is None:
-            metrics, result, cluster = self._runner(spec.name, seed=seed, **params)
-            metrics = dict(metrics)
-        else:
-            import time as _time
-
-            from repro.obs.coordcost import coordcost_report
-
-            started = _time.perf_counter()
-            with telemetry.activate():
+        with contextlib.ExitStack() as stack:
+            if exec_backend == "socket":
+                stack.enter_context(
+                    socket_backend(NetConfig.from_env(timeout=timeout))
+                )
+            else:
+                note_backend("sim")
+            if telemetry is None:
                 metrics, result, cluster = self._runner(
                     spec.name, seed=seed, **params
                 )
-            elapsed = _time.perf_counter() - started
-            metrics = dict(metrics)
-            network = getattr(cluster, "network", None)
-            sent = network.sent if network is not None else None
-            metrics["coordcost"] = coordcost_report(
-                telemetry, messages_sent=sent
-            ).to_dict()
-            if telemetry.profiler is not None:
-                telemetry.profiler.wall_seconds += elapsed
-                metrics["profile"] = telemetry.profiler.snapshot()
+                metrics = dict(metrics)
+            else:
+                import time as _time
+
+                from repro.obs.coordcost import coordcost_report
+
+                started = _time.perf_counter()
+                with telemetry.activate():
+                    metrics, result, cluster = self._runner(
+                        spec.name, seed=seed, **params
+                    )
+                elapsed = _time.perf_counter() - started
+                metrics = dict(metrics)
+                network = getattr(cluster, "network", None)
+                sent = network.sent if network is not None else None
+                metrics["coordcost"] = coordcost_report(
+                    telemetry, messages_sent=sent
+                ).to_dict()
+                if telemetry.profiler is not None:
+                    telemetry.profiler.wall_seconds += elapsed
+                    metrics["profile"] = telemetry.profiler.snapshot()
+        if exec_backend == "socket":
+            summary = getattr(
+                getattr(cluster, "network", None), "transport_summary", None
+            )
+            if summary is not None:
+                metrics["transport"] = summary()
         return RunOutcome(
             app=self.name,
             strategy=spec.name,
@@ -543,6 +584,7 @@ class BlazesApp:
             result=result,
             cluster=cluster,
             telemetry=telemetry,
+            transport=exec_backend,
         )
 
     def audit(
@@ -554,6 +596,8 @@ class BlazesApp:
         jobs: int = 1,
         name: str | None = None,
         reporter: Any | None = None,
+        backend: str | None = None,
+        timeout: float | None = None,
     ):
         """Run this app's fault-injection campaign (:mod:`repro.chaos`)."""
         from repro.chaos.campaign import (
@@ -574,13 +618,21 @@ class BlazesApp:
             name=name or f"audit-{self.name}",
             reporter=reporter,
             jobs=jobs,
+            backend=backend,
+            timeout=timeout,
         )
 
-    def harness(self, *, smoke: bool = False):
+    def harness(
+        self,
+        *,
+        smoke: bool = False,
+        backend: str = "sim",
+        timeout: float | None = None,
+    ):
         """The generic audit harness over this app's profile."""
         from repro.chaos.harnesses import AppHarness
 
-        return AppHarness(self, smoke=smoke)
+        return AppHarness(self, smoke=smoke, backend=backend, timeout=timeout)
 
     def __repr__(self) -> str:
         return (

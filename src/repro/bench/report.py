@@ -28,6 +28,16 @@ def default_output_dir() -> Path:
     return Path(os.environ.get(OUTPUT_DIR_ENV, "."))
 
 
+def _backend_environment() -> dict:
+    """The run backend fields of the environment block (never fatal)."""
+    try:
+        from repro.net.context import report_environment
+
+        return report_environment()
+    except Exception:  # pragma: no cover - reporting must not kill a run
+        return {}
+
+
 class JsonReporter:
     """Writes one ``BENCH_<name>.json`` per report into ``directory``."""
 
@@ -45,6 +55,9 @@ class JsonReporter:
                 "python": platform.python_version(),
                 "platform": platform.platform(),
                 "cpu_count": os.cpu_count(),
+                # which backend carried the runs ("sim"/"socket") and, for
+                # socket runs, the transport config they ran under
+                **_backend_environment(),
             },
         }
         self.directory.mkdir(parents=True, exist_ok=True)

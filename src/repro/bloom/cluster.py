@@ -22,7 +22,7 @@ from repro.bloom.runtime import BloomRuntime
 from repro.coord.zookeeper import ZK_KINDS
 from repro.errors import BloomError
 from repro.sim.events import make_simulator
-from repro.sim.network import LatencyModel, Message, Network, Process
+from repro.sim.network import LatencyModel, Message, Process, make_network
 from repro.sim.trace import Trace
 
 __all__ = ["BloomNode", "BloomCluster", "CHANNEL_MSG", "INSERT_MSG", "ZK_KINDS"]
@@ -151,7 +151,7 @@ class BloomCluster:
         retry_crashed: bool = False,
     ) -> None:
         self.sim = make_simulator(seed=seed)
-        self.network = Network(
+        self.network = make_network(
             self.sim,
             latency=latency or LatencyModel(base=0.001, jitter=0.003),
             drop_prob=drop_prob,

@@ -76,6 +76,8 @@ def _cell_metrics(
     smoke: bool,
     seeds: list,
     app_module: str | None = None,
+    backend: str = "sim",
+    timeout: float | None = None,
 ) -> dict:
     """Run one campaign cell (app x strategy x schedule, all seeds).
 
@@ -89,7 +91,7 @@ def _cell_metrics(
         importlib.import_module(app_module)
     from repro.obs.coordcost import aggregate_coordcost
 
-    harness = harness_for(app, smoke=smoke)
+    harness = harness_for(app, smoke=smoke, backend=backend, timeout=timeout)
     sched = harness.schedule_named(schedule)
     observations = []
     costs = []
@@ -146,6 +148,7 @@ def _cell_cache_fields(scenario: Scenario) -> dict:
         "smoke": params["smoke"],
         "seeds": list(params["seeds"]),
         "runner": kwargs_digest(run_params),
+        "backend": params.get("backend", "sim"),
     }
 
 
@@ -160,6 +163,8 @@ def audit_campaign(
     verbose: bool = False,
     jobs: int = 1,
     cache=None,
+    backend: str | None = None,
+    timeout: float | None = None,
 ) -> BenchReport:
     """Run the full audit sweep and return its :class:`BenchReport`.
 
@@ -173,7 +178,19 @@ def audit_campaign(
     identical to a serial uncached run, merged back in scenario order.
     ``apps`` defaults to every registered app carrying an audit profile
     (:func:`repro.chaos.harnesses.audit_apps`).
+
+    ``backend="socket"`` executes every cell on the real TCP transport
+    (:mod:`repro.net`) instead of the discrete-event kernel.  Socket
+    cells are wall-clock nondeterministic, so they are never served from
+    (or written to) the content-addressed cell cache; ``timeout`` bounds
+    each run in wall seconds.
     """
+    from repro.net.context import NetConfig, note_backend, resolve_backend
+
+    exec_backend = resolve_backend(backend)
+    if exec_backend == "socket":
+        note_backend("socket", NetConfig.from_env(timeout=timeout))
+        cache = None
     if apps is None:
         apps = audit_apps()
     scenarios: list[Scenario] = []
@@ -193,6 +210,8 @@ def audit_campaign(
                             "smoke": smoke,
                             "seeds": list(seeds),
                             "app_module": harness.app.origin_module,
+                            "backend": exec_backend,
+                            "timeout": timeout,
                         },
                     )
                 )

@@ -34,11 +34,20 @@ __all__ = ["AppHarness", "audit_apps", "harness_for"]
 class AppHarness:
     """Drive one registered app's audit profile."""
 
-    def __init__(self, app, *, smoke: bool = False) -> None:
+    def __init__(
+        self,
+        app,
+        *,
+        smoke: bool = False,
+        backend: str = "sim",
+        timeout: float | None = None,
+    ) -> None:
         if app.audit_spec is None:
             raise SimulationError(f"app {app.name!r} has no audit profile")
         self.app = app
         self.smoke = smoke
+        self.backend = backend
+        self.timeout = timeout
         self.profile = app.audit_spec
         self.name = app.name
         self.strategies: tuple[str, ...] = self.profile.strategies
@@ -85,6 +94,8 @@ class AppHarness:
             seed=seed,
             chaos=self._armer(schedule),
             telemetry=hub,
+            backend=self.backend,
+            timeout=self.timeout,
             **params,
         )
         observation = self.profile.observe(outcome, params)
@@ -130,11 +141,19 @@ def audit_apps() -> tuple[str, ...]:
     return audit_app_names()
 
 
-def harness_for(app: str, *, smoke: bool = False) -> AppHarness:
+def harness_for(
+    app: str,
+    *,
+    smoke: bool = False,
+    backend: str = "sim",
+    timeout: float | None = None,
+) -> AppHarness:
     """Build the audit harness for one registered app name."""
     from repro.api import get_app
 
     try:
-        return AppHarness(get_app(app), smoke=smoke)
+        return AppHarness(
+            get_app(app), smoke=smoke, backend=backend, timeout=timeout
+        )
     except ApiError as exc:
         raise SimulationError(str(exc)) from None

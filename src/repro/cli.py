@@ -142,6 +142,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="archive the run as a machine-readable run directory",
     )
+    run_cmd.add_argument(
+        "--backend",
+        choices=("sim", "socket"),
+        default=None,
+        help="execution backend: the discrete-event simulator (default) "
+        "or real TCP transport ($BLAZES_BACKEND overrides the default)",
+    )
+    run_cmd.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="wall-clock budget for a socket run; on expiry the services "
+        "tear down cleanly and the exit code is 5",
+    )
 
     stats_cmd = sub.add_parser(
         "stats", help="per-strategy coordination-cost breakdown"
@@ -229,6 +244,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     audit_cmd.add_argument(
         "--no-report", action="store_true", help="skip writing BENCH_*.json"
+    )
+    audit_cmd.add_argument(
+        "--schedules",
+        default=None,
+        help="comma-separated subset of each app's fault schedules",
+    )
+    audit_cmd.add_argument(
+        "--backend",
+        choices=("sim", "socket"),
+        default=None,
+        help="execution backend for every campaign cell (socket cells "
+        "run on real TCP and bypass the cell cache)",
+    )
+    audit_cmd.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="wall-clock budget per socket run; expiry exits with code 5",
     )
 
     cache_cmd = sub.add_parser(
@@ -391,6 +425,7 @@ def _parse_overrides(pairs: list[str]) -> dict[str, Any]:
 
 def _cmd_run(args) -> int:
     from repro.api import get_app
+    from repro.net.services import SocketTimeout
 
     app = get_app(args.app)
     overrides = _parse_overrides(args.overrides)
@@ -409,8 +444,43 @@ def _cmd_run(args) -> int:
             seed=args.seed,
             smoke=args.smoke,
             telemetry=telemetry,
+            backend=args.backend,
+            timeout=args.timeout,
             **overrides,
         )
+    except SocketTimeout as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if args.rundir:
+            from types import SimpleNamespace
+
+            from repro.obs.rundir import write_rundir
+
+            # archive what the torn-down run can still attest to: the
+            # timed_out marker plus how far it got before the budget hit
+            partial = SimpleNamespace(
+                app=app.name,
+                strategy=args.strategy or app.default_strategy,
+                seed=args.seed,
+                backend=app.backend,
+                transport="socket",
+                metrics={
+                    "timed_out": True,
+                    "timeout": exc.timeout,
+                    "virtual_time": exc.virtual_time,
+                    "events_fired": exc.fired,
+                    "events_pending": exc.pending,
+                },
+                result=None,
+                cluster=None,
+            )
+            path = write_rundir(
+                args.rundir,
+                partial,
+                telemetry=telemetry,
+                extra_meta={"timed_out": True},
+            )
+            print(f"wrote partial run directory {path}", file=sys.stderr)
+        return 5
     except TypeError as exc:
         # an unknown --set key surfaces as an unexpected-keyword TypeError
         # deep in the runner; translate it into the CLI's clean error shape
@@ -547,9 +617,14 @@ def _cmd_audit(args) -> int:
 
     if args.matrix and args.apps:
         raise BlazesError("--matrix chooses its own apps; drop --apps")
+    if args.matrix and args.backend == "socket":
+        raise BlazesError("--matrix runs on the simulator; drop --backend")
     apps = None
     if args.apps:
         apps = tuple(name for name in args.apps.split(",") if name)
+    schedules = None
+    if args.schedules:
+        schedules = tuple(name for name in args.schedules.split(",") if name)
     if args.seeds:
         seeds = tuple(args.seeds)
     else:
@@ -570,15 +645,26 @@ def _cmd_audit(args) -> int:
         ok = campaign_is_sound(report) and matrix_is_expected(report)
     else:
         name = "audit-smoke" if args.smoke else "audit"
-        report = audit_campaign(
-            apps,
-            smoke=args.smoke,
-            seeds=seeds,
-            name=name,
-            reporter=reporter,
-            jobs=jobs,
-            cache=cache,
-        )
+        if args.backend == "socket":
+            name = f"{name}-socket"
+        from repro.net.services import SocketTimeout
+
+        try:
+            report = audit_campaign(
+                apps,
+                smoke=args.smoke,
+                seeds=seeds,
+                name=name,
+                reporter=reporter,
+                jobs=jobs,
+                cache=cache,
+                schedules=schedules,
+                backend=args.backend,
+                timeout=args.timeout,
+            )
+        except SocketTimeout as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 5
         ok = campaign_is_sound(report)
     if args.json:
         payload = audit_to_dict(report)

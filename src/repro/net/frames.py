@@ -1,0 +1,188 @@
+"""The wire format: length-prefixed frames of tagged JSON (or msgpack).
+
+A frame is one message (or one control record) between two nodes:
+
+    4-byte big-endian length | codec-encoded body
+
+The body is JSON by default — msgpack when the library is installed and
+``NetConfig.codec = "msgpack"`` asks for it (never required: the repro
+must run on a bare Python toolchain).  Neither codec speaks the payload
+vocabulary the apps actually send — tuples, sets, frozensets, Storm
+tuples, dicts with tuple keys — so values pass through a tagging layer
+first: containers JSON cannot represent round-trip as ``{"!": tag, ...}``
+objects, and anything unknown falls back to pickle (base64-wrapped).
+Round-tripping is exact for everything the registered apps put on the
+wire; the simulator and socket backends therefore deliver equal payload
+*values* (the simulator delivers the same object, the transport an equal
+copy — apps treating payloads as values, which the channel contract
+requires, cannot tell the difference).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import struct
+from typing import Any
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "MAX_FRAME",
+    "available_codecs",
+    "decode_value",
+    "encode_value",
+    "make_codec",
+    "pack_frame",
+    "read_frame",
+]
+
+# Far above any app frame; a corrupt length prefix fails fast instead of
+# waiting on a gigabyte read.
+MAX_FRAME = 1 << 26
+
+_TAG = "!"
+
+
+def _storm_tuple():
+    try:
+        from repro.storm.tuples import StormTuple
+
+        return StormTuple
+    except Exception:  # pragma: no cover - storm is always importable here
+        return None
+
+
+def encode_value(value: Any) -> Any:
+    """Render ``value`` as a JSON-able structure, tagging what JSON can't."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, tuple):
+        return {_TAG: "tu", "v": [encode_value(item) for item in value]}
+    if isinstance(value, list):
+        return [encode_value(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        tag = "se" if isinstance(value, set) else "fs"
+        return {_TAG: tag, "v": [encode_value(item) for item in value]}
+    if isinstance(value, bytes):
+        return {_TAG: "by", "v": base64.b64encode(value).decode("ascii")}
+    if isinstance(value, dict):
+        if _TAG not in value and all(isinstance(key, str) for key in value):
+            return {key: encode_value(item) for key, item in value.items()}
+        return {
+            _TAG: "dk",
+            "v": [
+                [encode_value(key), encode_value(item)]
+                for key, item in value.items()
+            ],
+        }
+    storm = _storm_tuple()
+    if storm is not None and isinstance(value, storm):
+        return {
+            _TAG: "st",
+            "v": [encode_value(item) for item in value.values],
+            "b": value.batch,
+        }
+    import pickle
+
+    return {_TAG: "pk", "v": base64.b64encode(pickle.dumps(value)).decode("ascii")}
+
+
+def decode_value(value: Any) -> Any:
+    """Invert :func:`encode_value`."""
+    if isinstance(value, list):
+        return [decode_value(item) for item in value]
+    if not isinstance(value, dict):
+        return value
+    tag = value.get(_TAG)
+    if tag is None:
+        return {key: decode_value(item) for key, item in value.items()}
+    if tag == "tu":
+        return tuple(decode_value(item) for item in value["v"])
+    if tag == "se":
+        return {decode_value(item) for item in value["v"]}
+    if tag == "fs":
+        return frozenset(decode_value(item) for item in value["v"])
+    if tag == "by":
+        return base64.b64decode(value["v"])
+    if tag == "dk":
+        return {
+            decode_value(key): decode_value(item) for key, item in value["v"]
+        }
+    if tag == "st":
+        storm = _storm_tuple()
+        if storm is None:  # pragma: no cover - storm is always importable
+            raise SimulationError("StormTuple frame without the storm backend")
+        return storm(
+            tuple(decode_value(item) for item in value["v"]), value["b"]
+        )
+    if tag == "pk":
+        import pickle
+
+        return pickle.loads(base64.b64decode(value["v"]))
+    raise SimulationError(f"unknown frame tag {tag!r}")
+
+
+def available_codecs() -> tuple[str, ...]:
+    """The codecs this interpreter can actually use."""
+    try:
+        import msgpack  # noqa: F401
+
+        return ("json", "msgpack")
+    except ImportError:
+        return ("json",)
+
+
+def make_codec(name: str):
+    """``(dumps, loads)`` for one codec name; gated on availability.
+
+    msgpack is optional by design — the container bakes in only the
+    Python toolchain — so asking for it without the library is a clear
+    error, not an import crash at first send.
+    """
+    if name == "json":
+        return (
+            lambda obj: json.dumps(
+                obj, separators=(",", ":"), ensure_ascii=False
+            ).encode("utf-8"),
+            lambda data: json.loads(data.decode("utf-8")),
+        )
+    if name == "msgpack":
+        try:
+            import msgpack
+        except ImportError:
+            raise SimulationError(
+                "codec 'msgpack' requested but msgpack is not installed; "
+                "use codec='json' (the default)"
+            ) from None
+        return (
+            lambda obj: msgpack.packb(obj, use_bin_type=True),
+            lambda data: msgpack.unpackb(data, raw=False),
+        )
+    raise SimulationError(f"unknown codec {name!r}; have json, msgpack")
+
+
+def pack_frame(frame: dict, dumps) -> bytes:
+    """One wire frame: length prefix + encoded body."""
+    body = dumps(frame)
+    if len(body) > MAX_FRAME:
+        raise SimulationError(f"frame of {len(body)} bytes exceeds {MAX_FRAME}")
+    return struct.pack(">I", len(body)) + body
+
+
+async def read_frame(reader, loads) -> dict | None:
+    """Read one frame from an asyncio stream; ``None`` on a clean EOF."""
+    import asyncio
+
+    try:
+        prefix = await reader.readexactly(4)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    (length,) = struct.unpack(">I", prefix)
+    if length > MAX_FRAME:
+        raise SimulationError(f"frame of {length} bytes exceeds {MAX_FRAME}")
+    try:
+        body = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    return loads(body)

@@ -68,13 +68,17 @@ def _sanitize(value: Any) -> Any:
     return repr(value)
 
 
-def write_rundir(directory: str | Path, outcome, telemetry=None) -> Path:
+def write_rundir(
+    directory: str | Path, outcome, telemetry=None, *, extra_meta=None
+) -> Path:
     """Archive one :class:`~repro.api.RunOutcome` as a run directory.
 
     ``telemetry`` defaults to the hub the outcome was run with
     (``outcome.telemetry``); its coordcost block lands in
     ``coordcost.json`` and its span tracker (when tracing) in
-    ``spans.jsonl``.
+    ``spans.jsonl``.  ``extra_meta`` entries are merged into
+    ``meta.json`` — e.g. the ``timed_out`` marker of a socket run whose
+    wall-clock budget expired before quiescence.
 
     Collision-safe under concurrent writers: the artifacts are built in a
     private temporary directory and published with one atomic rename, so
@@ -100,11 +104,14 @@ def write_rundir(directory: str | Path, outcome, telemetry=None) -> Path:
         "strategy": outcome.strategy,
         "seed": outcome.seed,
         "backend": outcome.backend,
+        "transport": getattr(outcome, "transport", "sim"),
         "kernel": getattr(sim, "kernel", None),
         "events_fired": getattr(sim, "fired", None),
         "virtual_time": getattr(sim, "now", None),
         "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
     }
+    if extra_meta:
+        meta.update(extra_meta)
     try:
         from repro import __version__
 

@@ -348,8 +348,21 @@ def make_simulator(seed: int = 0):
     here, so one environment variable flips a whole run — app, chaos
     schedule, benchmarks — onto the reference kernel.  The differential
     suite is exactly that flip plus a byte-compare of the traces.
+
+    A scoped socket backend (``repro.net.context.socket_backend``) takes
+    precedence over kernel selection: inside the ``with`` block this
+    funnel returns the wall-clock
+    :class:`~repro.net.services.NetSimulator` instead, and the whole run
+    lands on real TCP transport behind the same channel contract.
     """
-    if kernel_name() == "ref":
+    from repro.net.context import active_config
+
+    net_config = active_config()
+    if net_config is not None:
+        from repro.net.services import NetSimulator
+
+        sim = NetSimulator(seed=seed, config=net_config)
+    elif kernel_name() == "ref":
         from repro.sim import events_ref
 
         sim = events_ref.Simulator(seed=seed)

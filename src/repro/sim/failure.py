@@ -12,10 +12,16 @@ Four fault classes matter for the paper's anomaly taxonomy:
   inflated latency jitter, which exercise the delivery-order nondeterminism
   the Blazes labels predict (``repro.chaos`` compiles its fault-schedule
   DSL onto these primitives).
+
+Window composition and retry rules come from the shared backend policy
+(:mod:`repro.sim.faultpolicy`), which the real-transport chaos proxy
+(:mod:`repro.net.chaosproxy`) imports too — the injector works against
+any network exposing the channel contract, simulated or socket-backed.
 """
 
 from __future__ import annotations
 
+from repro.sim.faultpolicy import WindowSet, reorder_combine
 from repro.sim.network import LatencyModel, Network, Process
 
 __all__ = ["FailureInjector"]
@@ -35,12 +41,11 @@ class FailureInjector:
         # network parameter is recomputed from the remaining set.  (The
         # old capture-and-restore scheme re-imposed a closed window's
         # inflation forever when windows overlapped.)
-        self._loss_windows: list[float] = []
-        self._dup_windows: list[float] = []
-        self._reorder_windows: list[float] = []
-        self._base_drop: float | None = None
-        self._base_dup: float | None = None
-        self._base_latency: LatencyModel | None = None
+        self._loss_windows = WindowSet()
+        self._dup_windows = WindowSet()
+        self._reorder_windows = WindowSet(
+            lambda base, factors: reorder_combine(base, factors, LatencyModel)
+        )
 
     def crash(self, process_name: str, at: float) -> None:
         """Crash ``process_name`` at virtual time ``at``."""
@@ -64,23 +69,14 @@ class FailureInjector:
         and the pre-window probability returns when the last one closes.
         """
         network = self.network
-
-        def recompute() -> None:
-            assert self._base_drop is not None
-            network.drop_prob = max([self._base_drop, *self._loss_windows])
+        windows = self._loss_windows
 
         def begin() -> None:
-            if not self._loss_windows:
-                self._base_drop = network.drop_prob
-            self._loss_windows.append(drop_prob)
-            recompute()
+            network.drop_prob = windows.begin(drop_prob, network.drop_prob)
             network.sim.schedule(duration, end)
 
         def end() -> None:
-            self._loss_windows.remove(drop_prob)
-            recompute()
-            if not self._loss_windows:
-                self._base_drop = None
+            network.drop_prob = windows.end(drop_prob)
 
         network.sim.schedule_at(at, begin)
 
@@ -90,23 +86,14 @@ class FailureInjector:
         Overlap composes like :meth:`loss_window`.
         """
         network = self.network
-
-        def recompute() -> None:
-            assert self._base_dup is not None
-            network.dup_prob = max([self._base_dup, *self._dup_windows])
+        windows = self._dup_windows
 
         def begin() -> None:
-            if not self._dup_windows:
-                self._base_dup = network.dup_prob
-            self._dup_windows.append(dup_prob)
-            recompute()
+            network.dup_prob = windows.begin(dup_prob, network.dup_prob)
             network.sim.schedule(duration, end)
 
         def end() -> None:
-            self._dup_windows.remove(dup_prob)
-            recompute()
-            if not self._dup_windows:
-                self._base_dup = None
+            network.dup_prob = windows.end(dup_prob)
 
         network.sim.schedule_at(at, begin)
 
@@ -157,30 +144,14 @@ class FailureInjector:
         whose retry delays are sampled from the live latency model.
         """
         network = self.network
-
-        def recompute() -> None:
-            assert self._base_latency is not None
-            base = self._base_latency
-            if not self._reorder_windows:
-                network.latency = base
-                return
-            jitter = base.jitter if base.jitter > 0 else base.base
-            network.latency = LatencyModel(
-                base.base, jitter * max(self._reorder_windows)
-            )
+        windows = self._reorder_windows
 
         def begin() -> None:
-            if not self._reorder_windows:
-                self._base_latency = network.latency
-            self._reorder_windows.append(factor)
-            recompute()
+            network.latency = windows.begin(factor, network.latency)
             network.sim.schedule(duration, end)
 
         def end() -> None:
-            self._reorder_windows.remove(factor)
-            recompute()
-            if not self._reorder_windows:
-                self._base_latency = None
+            network.latency = windows.end(factor)
 
         network.sim.schedule_at(at, begin)
 

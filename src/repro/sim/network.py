@@ -17,9 +17,10 @@ from collections.abc import Callable, Iterable
 from typing import Any
 
 from repro.errors import SimulationError
+from repro.sim import faultpolicy
 from repro.sim.events import Simulator
 
-__all__ = ["Message", "LatencyModel", "Process", "Network"]
+__all__ = ["Message", "LatencyModel", "Process", "Network", "make_network"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -198,14 +199,16 @@ class Network:
         telemetry = self.sim.telemetry
         if telemetry is not None:
             telemetry.note_send(kind, payload)
-        copies = 1
-        reliable = kind in self.reliable_kinds
-        if not reliable and self.drop_prob > 0 and self.sim.rng.random() < self.drop_prob:
+        copies = faultpolicy.send_copies(
+            self.sim.rng,
+            reliable=kind in self.reliable_kinds,
+            drop_prob=self.drop_prob,
+            dup_prob=self.dup_prob,
+        )
+        if copies == 0:
             self.dropped += 1
-            copies = 0
-        elif not reliable and self.dup_prob > 0 and self.sim.rng.random() < self.dup_prob:
+        elif copies == 2:
             self.duplicated += 1
-            copies = 2
         for _ in range(copies):
             self._uid += 1
             msg = Message(src, dst, kind, payload, self.sim.now, self._uid)
@@ -213,24 +216,23 @@ class Network:
             self.sim.post(delay, self._deliver, msg)
 
     def _deliver(self, msg: Message, attempt: int = 0) -> None:
-        if (msg.src, msg.dst) in self._blocked_links:
-            # Reliable kinds model TCP-backed sessions: the transport keeps
-            # retransmitting until the partition heals, so the message is
-            # delayed, not lost.  Everything else is dropped on the floor.
-            if msg.kind in self.reliable_kinds:
-                self._retry(msg, attempt)
-                return
-            self.dropped += 1
-            return
+        # Partition and crash semantics are the shared backend policy
+        # (repro.sim.faultpolicy): a blocked link delays reliable kinds
+        # (the session retransmits until it heals) and drops the rest; a
+        # crashed destination drops deliveries unless retry_crashed
+        # re-establishes the reliable session on restart.
         process = self._processes.get(msg.dst)
-        if process is None or process.crashed:
-            if (
-                process is not None
-                and self.retry_crashed
-                and msg.kind in self.reliable_kinds
-            ):
-                self._retry(msg, attempt)
-                return
+        action = faultpolicy.delivery_action(
+            reliable=msg.kind in self.reliable_kinds,
+            link_blocked=(msg.src, msg.dst) in self._blocked_links,
+            dst_known=process is not None,
+            dst_crashed=process is not None and process.crashed,
+            retry_crashed=self.retry_crashed,
+        )
+        if action is faultpolicy.RETRY:
+            self._retry(msg, attempt)
+            return
+        if action is faultpolicy.DROP:
             self.dropped += 1
             return
         self.delivered += 1
@@ -245,7 +247,7 @@ class Network:
         process.recv(msg)
 
     def _retry(self, msg: Message, attempt: int) -> None:
-        if attempt >= self.retry_limit:
+        if faultpolicy.retry_action(attempt, self.retry_limit) is faultpolicy.DROP:
             # session timeout: the peer never came back within the
             # transport's patience — the loss becomes observable
             self.dropped += 1
@@ -256,3 +258,21 @@ class Network:
             telemetry.note_decision("retry", topic=msg.kind)
         delay = self.latency.base + self.latency.sample(self.sim.rng)
         self.sim.post(delay, self._deliver, msg, attempt + 1)
+
+
+def make_network(sim, **kwargs) -> Network:
+    """Build the network matching ``sim``'s backend.
+
+    The single construction funnel every cluster substrate uses
+    (:class:`~repro.bloom.cluster.BloomCluster`,
+    :class:`~repro.storm.executor.StormCluster`): a discrete-event
+    simulator gets the simulated :class:`Network`, while a simulator
+    exposing ``make_network`` — the real-transport
+    :class:`~repro.net.services.NetSimulator` — builds its own
+    socket-backed network behind the same channel contract.  Apps never
+    see the difference.
+    """
+    factory = getattr(sim, "make_network", None)
+    if factory is not None:
+        return factory(**kwargs)
+    return Network(sim, **kwargs)

@@ -33,7 +33,7 @@ from repro.coord.assignment import ReplicaAssignment, stable_hash
 from repro.coord.ordering import OrderedInbox
 from repro.coord.zookeeper import ZK_KINDS
 from repro.errors import StormError
-from repro.sim.network import LatencyModel, Message, Network, Process
+from repro.sim.network import LatencyModel, Message, Process, make_network
 from repro.sim.events import make_simulator
 from repro.sim.trace import Trace
 from repro.storm.topology import Grouping, Topology
@@ -483,7 +483,7 @@ class StormCluster:
         # Control-plane traffic (Zookeeper sessions, commit coordination)
         # rides TCP-backed sessions in real deployments: exempt from loss.
         reliable = ZK_KINDS + ("txn.ready", "txn.committed", "txn.reack")
-        self.network = Network(
+        self.network = make_network(
             self.sim,
             latency=self.config.latency,
             drop_prob=self.config.drop_prob,

@@ -1,0 +1,90 @@
+"""The load-bearing invariant: sim and socket backends agree.
+
+For every registered audit app, one uncoordinated and one coordinated
+strategy run the baseline fault schedule on both backends with the same
+seeds and pinned workload.  The contract (see docs/transport.md):
+
+* **soundness-verdict equality, always** — the oracle's sound/unsound
+  call against the predicted label must match across backends;
+* **committed-state equality where the prediction coordinates** — when
+  the predicted label's severity is at or below ``Async`` (severity 2),
+  the strategy guarantees convergence independent of delivery timing,
+  so per-replica committed state must be byte-identical across
+  backends.  Uncoordinated cells are timing-dependent by design and
+  are exempt from byte equality (the simulator's interleavings and the
+  kernel scheduler's are different draws from the same anomaly space).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.harnesses import audit_apps, harness_for
+from repro.chaos.oracle import classify_runs
+
+SEEDS = (7, 11)
+_ASYNC_SEVERITY = 2
+
+
+@pytest.fixture(autouse=True)
+def _realtime_scale(monkeypatch):
+    """Run socket cells 1:1 with wall time so fault windows stay wide."""
+    monkeypatch.setenv("BLAZES_NET_TIME_SCALE", "1.0")
+
+
+def _strategy_pair(harness):
+    unco = next(s for s in harness.strategies if s not in harness.coordinated)
+    coord = next(s for s in harness.strategies if s in harness.coordinated)
+    return unco, coord
+
+
+def _cells(app, strategy):
+    """Observations for one (app, strategy) on both backends."""
+    per_backend = {}
+    for backend in ("sim", "socket"):
+        harness = harness_for(app, smoke=True, backend=backend)
+        schedule = harness.schedule_named("baseline")
+        per_backend[backend] = [
+            harness.observe(strategy, schedule, seed) for seed in SEEDS
+        ]
+    return per_backend
+
+
+def _check_equivalence(app, strategy):
+    harness = harness_for(app, smoke=True)
+    predicted = harness.predicted(strategy)
+    cells = _cells(app, strategy)
+
+    sim_verdict = classify_runs(cells["sim"])
+    sock_verdict = classify_runs(cells["socket"])
+
+    # Soundness-verdict equality everywhere, and both sides sound.
+    assert sim_verdict.sound_for(predicted), (
+        f"{app}/{strategy}: sim unsound ({sim_verdict.observed} > {predicted})"
+    )
+    assert sock_verdict.sound_for(predicted), (
+        f"{app}/{strategy}: socket unsound "
+        f"({sock_verdict.observed} > {predicted})"
+    )
+
+    # Committed-state byte equality for coordinated predictions.
+    if predicted.severity <= _ASYNC_SEVERITY:
+        for seed, sim_obs, sock_obs in zip(
+            SEEDS, cells["sim"], cells["socket"]
+        ):
+            assert sim_obs.committed == sock_obs.committed, (
+                f"{app}/{strategy} seed {seed}: committed state diverged "
+                f"across backends despite predicted {predicted}"
+            )
+
+
+@pytest.mark.parametrize("app", audit_apps())
+def test_uncoordinated_strategy_equivalent(app):
+    strategy, _ = _strategy_pair(harness_for(app, smoke=True))
+    _check_equivalence(app, strategy)
+
+
+@pytest.mark.parametrize("app", audit_apps())
+def test_coordinated_strategy_equivalent(app):
+    _, strategy = _strategy_pair(harness_for(app, smoke=True))
+    _check_equivalence(app, strategy)

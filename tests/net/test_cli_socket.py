@@ -1,0 +1,68 @@
+"""CLI surface for the socket backend: run, timeout, audit guards."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def _realtime_scale(monkeypatch, tmp_path):
+    monkeypatch.setenv("BLAZES_NET_TIME_SCALE", "1.0")
+    monkeypatch.setenv("BLAZES_CACHE_DIR", str(tmp_path / "cell-cache"))
+
+
+def test_run_socket_backend_smoke(capsys):
+    assert main(["run", "kvs", "--backend", "socket", "--smoke",
+                 "--seed", "7", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["transport"] == "socket"
+    assert payload["metrics"]["transport"]["codec"] == "json"
+    assert payload["metrics"]["transport"]["frames_sent"] > 0
+
+
+def test_run_sim_backend_reports_transport(capsys):
+    assert main(["run", "kvs", "--smoke", "--seed", "7", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["transport"] == "sim"
+
+
+def test_timeout_requires_socket_backend(capsys):
+    assert main(["run", "kvs", "--smoke", "--timeout", "1"]) == 1
+    assert "socket" in capsys.readouterr().err
+
+
+def test_timeout_exits_five_with_partial_rundir(tmp_path, capsys):
+    rundir = tmp_path / "runs"
+    code = main([
+        "run", "kvs", "--backend", "socket", "--smoke", "--seed", "7",
+        "--timeout", "0.01", "--rundir", str(rundir),
+    ])
+    assert code == 5
+    assert "wall-clock budget" in capsys.readouterr().err
+    meta = json.loads((rundir / "meta.json").read_text())
+    assert meta["timed_out"] is True
+    assert meta["transport"] == "socket"
+
+
+def test_audit_matrix_rejects_socket_backend(capsys):
+    assert main(["audit", "--matrix", "--backend", "socket", "--smoke",
+                 "--no-report"]) == 1
+    assert "--matrix" in capsys.readouterr().err
+
+
+def test_audit_socket_smoke_single_schedule(capsys, tmp_path):
+    code = main([
+        "audit", "--backend", "socket", "--smoke", "--apps", "kvs",
+        "--schedules", "baseline", "--seeds", "7", "--no-report", "--json",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["campaign"] == "audit-smoke-socket"
+    assert payload["cells"], "audit produced no cells"
+    assert all(cell["sound"] for cell in payload["cells"])
+    assert all(cell["params"]["backend"] == "socket"
+               for cell in payload["cells"])
