@@ -125,6 +125,12 @@ class AuditProfile:
     :class:`~repro.chaos.oracle.RunObservation` the oracle classifies.
     ``workload_seed`` pins the generated workload so different network
     seeds explore delivery interleavings of one input set.
+
+    ``envelope`` declares the app's fault-tolerance assumptions as a
+    :class:`~repro.chaos.envelope.FaultEnvelope`; the campaign classifies
+    cells whose schedule falls outside it as ``out-of-envelope`` (never
+    ``unsound``) and the chaos search generates composite schedules
+    inside it only.  ``None`` means unrestricted.
     """
 
     strategies: tuple[str, ...]
@@ -134,6 +140,7 @@ class AuditProfile:
     roles: Callable[[Any], dict[str, list[str]]]
     observe: Callable[[RunOutcome, dict[str, Any]], Any]
     workload_seed: int = 0
+    envelope: Any = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -313,6 +320,19 @@ class BlazesApp:
         profile = AuditProfile(**kwargs)
         for strategy in profile.strategies:
             self.strategy_spec(strategy)  # validates the names
+        if profile.envelope is not None:
+            # the default sweep must audit inside the app's own model:
+            # a declared schedule outside the declared envelope is a
+            # profile bug, caught at declaration time
+            for smoke in (False, True):
+                for schedule in profile.schedules(smoke):
+                    broken = profile.envelope.violations(schedule)
+                    if broken:
+                        raise ApiError(
+                            f"app {self.name!r}: default schedule "
+                            f"{schedule.name!r} violates the declared "
+                            f"envelope: {broken[0]}"
+                        )
         self.audit_spec = profile
         return self
 

@@ -31,6 +31,7 @@ from collections.abc import Callable, Iterable
 
 from repro.api import BlazesApp, register
 from repro.apps.queries import CLICK_SCHEMA, ORDER_TOPIC, CacheTier, make_report_module
+from repro.chaos.envelope import order_only_envelope
 from repro.bloom.cluster import INSERT_MSG, ZK_KINDS, BloomCluster, BloomNode
 from repro.bloom.rewrite import OrderedInputAdapter, SealedInputAdapter
 from repro.coord.assignment import ReplicaAssignment
@@ -670,7 +671,8 @@ def _audit_schedules(_smoke: bool):
     from repro.chaos.schedule import baseline, dup_burst, reorder_burst
 
     # No retransmit layer exists here, so the envelope is order-perturbing
-    # faults only: reorder bursts and duplication.
+    # faults only: reorder bursts and duplication (declared as the
+    # order_only_envelope below; anything else audits as out-of-envelope).
     return (baseline(), reorder_burst(), dup_burst())
 
 
@@ -757,5 +759,6 @@ APP = register(
         roles=_audit_roles,
         observe=_audit_observe,
         workload_seed=7,
+        envelope=order_only_envelope(),
     )
 )

@@ -22,6 +22,7 @@ from collections.abc import Callable
 
 from repro.api import BlazesApp, annotate, register
 from repro.bloom.cluster import INSERT_MSG, ZK_KINDS, BloomCluster, BloomNode
+from repro.chaos.envelope import FaultEnvelope
 from repro.bloom.module import BloomModule
 from repro.bloom.rewrite import OrderedInputAdapter, SealedInputAdapter
 from repro.coord.sealing import DATA as SEAL_DATA
@@ -599,5 +600,14 @@ APP = register(
         roles=_audit_roles,
         observe=_audit_observe,
         workload_seed=7,
+        # reliable (TCP-like) sessions with no crash recovery path: only
+        # order-perturbing faults and healing partitions are in scope —
+        # duplication is exempted by the reliable channels themselves and
+        # a store crash would lose pinned state for good
+        envelope=FaultEnvelope(
+            "tcp-sessions",
+            frozenset({"reorder", "partition"}),
+            description="reliable sessions; partitions delay, never destroy",
+        ),
     )
 )

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from repro.api import BlazesApp, annotate, register
 from repro.bloom.module import BloomModule
+from repro.chaos.envelope import reliable_sessions_envelope
 
 __all__ = [
     "QUERY_NAMES",
@@ -387,6 +388,7 @@ def _build_query_app(name: str, query: str) -> BlazesApp:
             roles=_matrix_roles,
             observe=_matrix_observe,
             workload_seed=7,
+            envelope=reliable_sessions_envelope(),
         )
     )
     return app

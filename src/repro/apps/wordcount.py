@@ -16,6 +16,7 @@ import random
 from collections.abc import Callable
 
 from repro.api import BlazesApp, annotate, register
+from repro.chaos.envelope import replay_envelope
 from repro.core.analysis import AnalysisResult, analyze
 from repro.core.graph import Dataflow
 from repro.storm.adapter import topology_to_dataflow
@@ -515,5 +516,6 @@ APP = register(
         roles=_audit_roles,
         observe=_audit_observe,
         workload_seed=0,
+        envelope=replay_envelope(),
     )
 )

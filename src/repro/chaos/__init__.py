@@ -21,7 +21,14 @@ in the spirit of the paper's Section VII evaluation:
   (app x strategy x schedule x seeds), joining each observed severity
   against the label predicted by :func:`repro.core.analysis.analyze` into
   a soundness verdict (``observed <= predicted``), reported through
-  :mod:`repro.bench`.
+  :mod:`repro.bench`;
+* :mod:`repro.chaos.envelope` — declared fault-tolerance envelopes: the
+  faults an app *claims* to tolerate; schedules outside the envelope
+  classify as ``out-of-envelope`` instead of ``unsound``;
+* :mod:`repro.chaos.search` — adaptive search over the schedule space: a
+  seeded composite generator, a delta-debugging shrinker to 1-minimal
+  counterexamples, and the severity-frontier bisection
+  (``blazes audit --search`` / ``blazes frontier``).
 
 See ``docs/chaos.md`` for the observed-vs-predicted mapping to paper
 Figure 8 and Section VII.
@@ -31,14 +38,25 @@ from repro.chaos.campaign import (
     audit_campaign,
     campaign_is_sound,
     campaign_tightness,
+    cell_status_of,
     default_schedules,
     demonstrated_anomalies,
     matrix_apps,
     matrix_campaign,
     matrix_is_expected,
     matrix_summary,
+    out_of_envelope_cells,
     render_audit,
     render_matrix,
+    schedule_cell_name,
+)
+from repro.chaos.envelope import (
+    FaultEnvelope,
+    cell_status,
+    order_only_envelope,
+    reliable_sessions_envelope,
+    replay_envelope,
+    unrestricted_envelope,
 )
 from repro.chaos.harnesses import AppHarness, audit_apps, harness_for
 from repro.chaos.oracle import (
@@ -57,15 +75,34 @@ from repro.chaos.schedule import (
     baseline,
     crash_restart,
     dup_burst,
+    fault_from_dict,
+    fault_kind,
+    fault_to_dict,
     loss_burst,
     reorder_burst,
+    schedule_from_dict,
+    schedule_to_dict,
     split_link,
+)
+from repro.chaos.search import (
+    CellProbe,
+    ShrinkOutcome,
+    composite_schedule,
+    composite_schedules,
+    frontier_campaign,
+    render_frontier,
+    render_search,
+    search_campaign,
+    search_is_sound,
+    shrink_schedule,
 )
 
 __all__ = [
     "AppHarness",
+    "CellProbe",
     "Crash",
     "Duplicate",
+    "FaultEnvelope",
     "FaultSchedule",
     "Loss",
     "ObservedLabel",
@@ -73,24 +110,46 @@ __all__ = [
     "Partition",
     "Reorder",
     "RunObservation",
+    "ShrinkOutcome",
     "audit_apps",
     "audit_campaign",
     "baseline",
     "campaign_is_sound",
     "campaign_tightness",
+    "cell_status",
+    "cell_status_of",
     "classify_runs",
+    "composite_schedule",
+    "composite_schedules",
     "crash_restart",
     "default_schedules",
     "demonstrated_anomalies",
     "dup_burst",
+    "fault_from_dict",
+    "fault_kind",
+    "fault_to_dict",
+    "frontier_campaign",
     "harness_for",
     "loss_burst",
     "matrix_apps",
     "matrix_campaign",
     "matrix_is_expected",
     "matrix_summary",
+    "order_only_envelope",
+    "out_of_envelope_cells",
+    "reliable_sessions_envelope",
     "render_audit",
+    "render_frontier",
     "render_matrix",
+    "render_search",
     "reorder_burst",
+    "replay_envelope",
+    "schedule_cell_name",
+    "schedule_from_dict",
+    "schedule_to_dict",
+    "search_campaign",
+    "search_is_sound",
+    "shrink_schedule",
     "split_link",
+    "unrestricted_envelope",
 ]

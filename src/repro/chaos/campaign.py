@@ -34,9 +34,10 @@ import importlib
 from collections.abc import Sequence
 
 from repro.bench import BenchReport, Scenario
+from repro.chaos.envelope import cell_status
 from repro.chaos.harnesses import audit_apps, harness_for
 from repro.chaos.oracle import ObservedLabel, classify_runs
-from repro.chaos.schedule import FaultSchedule
+from repro.chaos.schedule import FaultSchedule, schedule_from_dict
 
 __all__ = [
     "DEFAULT_SEEDS",
@@ -44,14 +45,17 @@ __all__ = [
     "audit_campaign",
     "campaign_is_sound",
     "campaign_tightness",
+    "cell_status_of",
     "default_schedules",
     "demonstrated_anomalies",
     "matrix_apps",
     "matrix_campaign",
     "matrix_is_expected",
     "matrix_summary",
+    "out_of_envelope_cells",
     "render_audit",
     "render_matrix",
+    "schedule_cell_name",
 ]
 
 DEFAULT_SEEDS = (7, 11, 13)
@@ -78,6 +82,7 @@ def _cell_metrics(
     app_module: str | None = None,
     backend: str = "sim",
     timeout: float | None = None,
+    schedule_spec: dict | None = None,
 ) -> dict:
     """Run one campaign cell (app x strategy x schedule, all seeds).
 
@@ -86,13 +91,29 @@ def _cell_metrics(
     module whose import registers the app — a fresh pool worker only
     auto-imports the built-in catalog, so apps registered elsewhere ship
     their defining module by name.
+
+    ``schedule_spec`` carries an *inline* schedule as the JSON-able
+    mapping of :func:`repro.chaos.schedule.schedule_to_dict` — the search
+    layer's composite/shrunk schedules, or a profile schedule whose name
+    collides with a different one.  Without it, ``schedule`` names one of
+    the app's default schedules.
     """
     if app_module is not None:
         importlib.import_module(app_module)
     from repro.obs.coordcost import aggregate_coordcost
 
     harness = harness_for(app, smoke=smoke, backend=backend, timeout=timeout)
-    sched = harness.schedule_named(schedule)
+    if schedule_spec is not None:
+        sched = schedule_from_dict(schedule_spec)
+    else:
+        sched = harness.schedule_named(schedule)
+    # envelope check in normalized time, before horizon scaling — the
+    # convention the envelope's crash-restart deadline is declared in
+    violations = (
+        harness.envelope.violations(sched)
+        if harness.envelope is not None
+        else ()
+    )
     observations = []
     costs = []
     events = 0
@@ -104,13 +125,19 @@ def _cell_metrics(
     verdict = classify_runs(observations)
     predicted = harness.predicted(strategy)
     coordcost = aggregate_coordcost(costs)
+    sound = verdict.sound_for(predicted)
     return {
         "coordcost": coordcost,
         "predicted": str(predicted),
         "predicted_severity": predicted.severity,
         "observed": str(verdict.observed),
         "observed_severity": verdict.observed.severity,
-        "sound": verdict.sound_for(predicted),
+        "sound": sound,
+        # the three-way taxonomy: sound / unsound applies only to cells
+        # inside the app's declared fault envelope
+        "status": cell_status(sound, violations),
+        "in_envelope": not violations,
+        "envelope_violations": list(violations),
         # tightness: the label was *attained*, not merely an upper bound
         "tight": verdict.observed.severity == predicted.severity,
         "consistent": verdict.observed.severity <= _CONSISTENT_SEVERITY,
@@ -130,13 +157,18 @@ def _cell_cache_fields(scenario: Scenario) -> dict:
     faults, and the harness's runner kwargs (run params + workload seed)
     as their own digest — so renaming a schedule does not invalidate the
     cache, while changing any fault timing, the horizon, or the workload
-    does.
+    does.  Inline (searched/composite) schedules digest identically to
+    library ones with the same faults, so shrink steps that revisit a
+    schedule — or rediscover a library schedule — hit the same entries.
     """
     from repro.exec.cache import kwargs_digest, schedule_digest
 
     params = scenario.params
     harness = harness_for(params["app"], smoke=params["smoke"])
-    sched = harness.schedule_named(params["schedule"])
+    if params.get("schedule_spec") is not None:
+        sched = schedule_from_dict(params["schedule_spec"])
+    else:
+        sched = harness.schedule_named(params["schedule"])
     run_params = dict(harness.profile.run_params(params["smoke"]))
     run_params["workload_seed"] = harness.profile.workload_seed
     return {
@@ -150,6 +182,19 @@ def _cell_cache_fields(scenario: Scenario) -> dict:
         "runner": kwargs_digest(run_params),
         "backend": params.get("backend", "sim"),
     }
+
+
+def schedule_cell_name(app: str, strategy: str, schedule: FaultSchedule) -> str:
+    """A collision-proof scenario name for one (app, strategy, schedule).
+
+    Composite schedules inherit their parts' names (``A+B``), so two
+    *distinct* schedules can share one — e.g. different shrink steps of
+    the same composite.  Suffixing the compiled schedule digest keeps
+    ``BENCH_*.json`` rows and report lookups unique without renaming.
+    """
+    from repro.exec.cache import schedule_digest
+
+    return f"{app}/{strategy}/{schedule.name}#{schedule_digest(schedule)[:8]}"
 
 
 def audit_campaign(
@@ -196,25 +241,39 @@ def audit_campaign(
     scenarios: list[Scenario] = []
     for app in apps:
         harness = harness_for(app, smoke=smoke)
+        swept = [
+            schedule
+            for schedule in harness.schedules
+            if schedules is None or schedule.name in schedules
+        ]
+        # two distinct schedules sharing a name (composites built from
+        # same-named parts) would collide in report rows and schedule
+        # resolution: such cells go by digest-suffixed names and carry
+        # their schedule inline
+        counts: dict[str, int] = {}
+        for schedule in swept:
+            counts[schedule.name] = counts.get(schedule.name, 0) + 1
         for strategy in harness.strategies:
-            for schedule in harness.schedules:
-                if schedules is not None and schedule.name not in schedules:
-                    continue
-                scenarios.append(
-                    Scenario(
-                        f"{app}/{strategy}/{schedule.name}",
-                        {
-                            "app": app,
-                            "strategy": strategy,
-                            "schedule": schedule.name,
-                            "smoke": smoke,
-                            "seeds": list(seeds),
-                            "app_module": harness.app.origin_module,
-                            "backend": exec_backend,
-                            "timeout": timeout,
-                        },
-                    )
+            for schedule in swept:
+                ambiguous = counts[schedule.name] > 1
+                cell_name = (
+                    schedule_cell_name(app, strategy, schedule)
+                    if ambiguous
+                    else f"{app}/{strategy}/{schedule.name}"
                 )
+                params = {
+                    "app": app,
+                    "strategy": strategy,
+                    "schedule": schedule.name,
+                    "smoke": smoke,
+                    "seeds": list(seeds),
+                    "app_module": harness.app.origin_module,
+                    "backend": exec_backend,
+                    "timeout": timeout,
+                }
+                if ambiguous:
+                    params["schedule_spec"] = schedule.to_dict()
+                scenarios.append(Scenario(cell_name, params))
 
     from repro.exec.engine import evaluate
 
@@ -238,9 +297,36 @@ def audit_campaign(
     )
 
 
+def cell_status_of(result) -> str:
+    """One cell's ``sound`` / ``unsound`` / ``out-of-envelope`` status.
+
+    Falls back to the soundness bit for cells produced before the status
+    field existed (e.g. replayed reports).
+    """
+    status = result.metrics.get("status")
+    if status is not None:
+        return status
+    return "sound" if result["sound"] else "unsound"
+
+
 def campaign_is_sound(report: BenchReport) -> bool:
-    """Did every cell observe within its predicted label?"""
-    return all(result["sound"] for result in report)
+    """Did every *in-envelope* cell observe within its predicted label?
+
+    Out-of-envelope cells carry no verdict on the analysis — the app
+    never claimed to tolerate their schedule — so they are excluded
+    here, never counted as unsound.
+    """
+    return all(cell_status_of(result) != "unsound" for result in report)
+
+
+def out_of_envelope_cells(report: BenchReport) -> dict[str, list[str]]:
+    """Cells whose schedule fell outside the app's declared envelope,
+    mapped to the envelope checker's violation lines."""
+    return {
+        result.name: list(result.metrics.get("envelope_violations", ()))
+        for result in report
+        if cell_status_of(result) == "out-of-envelope"
+    }
 
 
 def campaign_tightness(report: BenchReport) -> tuple[int, int]:
@@ -418,13 +504,25 @@ def render_audit(report: BenchReport, *, evidence: bool = False) -> str:
     """The human-readable audit verdict: table plus summary lines."""
     lines = [report.table("predicted", "observed", "sound", "tight")]
     anomalies = demonstrated_anomalies(report)
-    unsound = [result.name for result in report if not result["sound"]]
+    unsound = [
+        result.name for result in report if cell_status_of(result) == "unsound"
+    ]
+    outside = out_of_envelope_cells(report)
     lines.append("")
     if unsound:
         lines.append(f"UNSOUND cells ({len(unsound)}): " + ", ".join(unsound))
     else:
         lines.append(
-            f"sound: all {len(report)} cells observed <= predicted (Figure 8)"
+            f"sound: all {len(report) - len(outside)} in-envelope cells "
+            f"observed <= predicted (Figure 8)"
+            if outside
+            else f"sound: all {len(report)} cells observed <= predicted "
+            f"(Figure 8)"
+        )
+    if outside:
+        lines.append(
+            f"out-of-envelope cells ({len(outside)}, no verdict): "
+            + ", ".join(sorted(outside))
         )
     tight, total = campaign_tightness(report)
     lines.append(

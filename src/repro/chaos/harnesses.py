@@ -61,6 +61,23 @@ class AppHarness:
         )
         self.horizon: float = self.profile.horizon
 
+    @property
+    def envelope(self):
+        """The app's declared fault envelope (``None`` = unrestricted)."""
+        return self.profile.envelope
+
+    def role_pool(self) -> tuple[str, ...]:
+        """Roles the app's own schedules target — known-resolvable names.
+
+        The search layer draws crash/partition targets from this pool:
+        any role a default schedule uses is guaranteed to resolve on the
+        app's cluster, without declaring the vocabulary twice.
+        """
+        names: set[str] = set()
+        for schedule in self.schedules:
+            names.update(schedule.roles)
+        return tuple(sorted(names))
+
     def predicted(self, strategy: str) -> Label:
         """The analysis verdict: worst label over the app's sink streams."""
         return self.app.predicted_label(strategy)

@@ -14,7 +14,13 @@ Primitives mirror the injector: :class:`Crash` (crash/recover),
 :class:`Loss` and :class:`Duplicate` (probability windows),
 :class:`Partition` (severed links), :class:`Reorder` (latency-jitter
 bursts).  Schedules compose with ``+`` and transform with
-:meth:`FaultSchedule.scaled` / :meth:`FaultSchedule.shifted`.
+:meth:`FaultSchedule.scaled` / :meth:`FaultSchedule.shifted` /
+:meth:`FaultSchedule.with_intensity`.  Every fault validates its window
+at construction time (so ``shifted`` with a too-negative offset raises
+:class:`~repro.errors.SimulationError` instead of minting a fault that
+arms in the past), and schedules round-trip through plain dicts
+(:func:`schedule_to_dict` / :func:`schedule_from_dict`) so the search
+layer can ship them through JSON scenario parameters.
 """
 
 from __future__ import annotations
@@ -36,13 +42,44 @@ __all__ = [
     "baseline",
     "crash_restart",
     "dup_burst",
+    "fault_from_dict",
+    "fault_kind",
+    "fault_to_dict",
     "loss_burst",
     "reorder_burst",
+    "schedule_from_dict",
+    "schedule_to_dict",
     "split_link",
 ]
 
 # role resolution: (role, index) -> concrete process name
 ResolveRole = Callable[[str, int], str]
+
+
+def _check_window(fault) -> None:
+    """Reject faults that would arm in the past or run backwards.
+
+    Construction-time validation: ``rescaled`` goes through
+    ``dataclasses.replace`` (which re-runs ``__post_init__``), so a
+    ``shifted`` with an offset larger than a fault's ``at`` raises here
+    instead of producing a fault the injector schedules before t=0 —
+    the sim kernels would raise at arm time, and the socket backend
+    would silently clamp it, both far from the buggy call site.
+    """
+    if fault.at < 0:
+        raise SimulationError(
+            f"fault begins before t=0 (negative offset?): {fault!r}"
+        )
+    if fault.duration < 0:
+        raise SimulationError(f"fault has a negative duration: {fault!r}")
+
+
+def _check_prob(fault, attr: str) -> None:
+    value = getattr(fault, attr)
+    if not 0.0 <= value <= 1.0:
+        raise SimulationError(
+            f"fault {attr} must be within [0, 1], got {value}: {fault!r}"
+        )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -54,6 +91,9 @@ class Crash:
     at: float
     duration: float
 
+    def __post_init__(self) -> None:
+        _check_window(self)
+
     def compile(self, injector: FailureInjector, resolve: ResolveRole) -> None:
         injector.crash_for(resolve(self.role, self.index), self.at, self.duration)
 
@@ -61,6 +101,9 @@ class Crash:
         return dataclasses.replace(
             self, at=self.at * factor + offset, duration=self.duration * factor
         )
+
+    def with_intensity(self, lam: float) -> "Crash":
+        return dataclasses.replace(self, duration=self.duration * lam)
 
     @property
     def end(self) -> float:
@@ -75,6 +118,10 @@ class Loss:
     duration: float
     drop_prob: float
 
+    def __post_init__(self) -> None:
+        _check_window(self)
+        _check_prob(self, "drop_prob")
+
     def compile(self, injector: FailureInjector, resolve: ResolveRole) -> None:
         injector.loss_window(self.at, self.duration, self.drop_prob)
 
@@ -82,6 +129,9 @@ class Loss:
         return dataclasses.replace(
             self, at=self.at * factor + offset, duration=self.duration * factor
         )
+
+    def with_intensity(self, lam: float) -> "Loss":
+        return dataclasses.replace(self, drop_prob=self.drop_prob * lam)
 
     @property
     def end(self) -> float:
@@ -96,6 +146,10 @@ class Duplicate:
     duration: float
     dup_prob: float
 
+    def __post_init__(self) -> None:
+        _check_window(self)
+        _check_prob(self, "dup_prob")
+
     def compile(self, injector: FailureInjector, resolve: ResolveRole) -> None:
         injector.duplicate_window(self.at, self.duration, self.dup_prob)
 
@@ -103,6 +157,9 @@ class Duplicate:
         return dataclasses.replace(
             self, at=self.at * factor + offset, duration=self.duration * factor
         )
+
+    def with_intensity(self, lam: float) -> "Duplicate":
+        return dataclasses.replace(self, dup_prob=self.dup_prob * lam)
 
     @property
     def end(self) -> float:
@@ -121,6 +178,9 @@ class Partition:
     duration: float
     symmetric: bool = True
 
+    def __post_init__(self) -> None:
+        _check_window(self)
+
     def compile(self, injector: FailureInjector, resolve: ResolveRole) -> None:
         injector.partition(
             resolve(self.src_role, self.src_index),
@@ -135,6 +195,9 @@ class Partition:
             self, at=self.at * factor + offset, duration=self.duration * factor
         )
 
+    def with_intensity(self, lam: float) -> "Partition":
+        return dataclasses.replace(self, duration=self.duration * lam)
+
     @property
     def end(self) -> float:
         return self.at + self.duration
@@ -148,6 +211,13 @@ class Reorder:
     duration: float
     factor: float
 
+    def __post_init__(self) -> None:
+        _check_window(self)
+        if self.factor < 0:
+            raise SimulationError(
+                f"reorder factor must be >= 0, got {self.factor}"
+            )
+
     def compile(self, injector: FailureInjector, resolve: ResolveRole) -> None:
         injector.reorder_window(self.at, self.duration, self.factor)
 
@@ -156,12 +226,58 @@ class Reorder:
             self, at=self.at * factor + offset, duration=self.duration * factor
         )
 
+    def with_intensity(self, lam: float) -> "Reorder":
+        # interpolate toward the neutral jitter multiplier 1, not 0: a
+        # factor of 1 leaves latency untouched, so lam=0 is a no-op
+        return dataclasses.replace(self, factor=1.0 + (self.factor - 1.0) * lam)
+
     @property
     def end(self) -> float:
         return self.at + self.duration
 
 
 Fault = Crash | Loss | Duplicate | Partition | Reorder
+
+_FAULT_TYPES: dict[str, type] = {
+    "crash": Crash,
+    "loss": Loss,
+    "duplicate": Duplicate,
+    "partition": Partition,
+    "reorder": Reorder,
+}
+
+
+def fault_kind(fault: Fault) -> str:
+    """The canonical kind string of a fault primitive (``"crash"``, ...)."""
+    return type(fault).__name__.lower()
+
+
+def fault_to_dict(fault: Fault) -> dict:
+    """One fault as a JSON-able mapping (``kind`` + its fields)."""
+    return {"kind": fault_kind(fault), **dataclasses.asdict(fault)}
+
+
+def fault_from_dict(data: dict) -> Fault:
+    """Rebuild a fault primitive from :func:`fault_to_dict` output."""
+    fields = dict(data)
+    kind = fields.pop("kind", None)
+    try:
+        cls = _FAULT_TYPES[kind]
+    except KeyError:
+        raise SimulationError(
+            f"unknown fault kind {kind!r}; have {sorted(_FAULT_TYPES)}"
+        ) from None
+    return cls(**fields)
+
+
+def _is_noop(fault: Fault) -> bool:
+    """Faults that cannot perturb a run (dropped by ``with_intensity``)."""
+    if isinstance(fault, (Loss, Duplicate)):
+        prob = fault.drop_prob if isinstance(fault, Loss) else fault.dup_prob
+        return prob <= 0.0 or fault.duration <= 0.0
+    if isinstance(fault, Reorder):
+        return fault.factor <= 1.0 or fault.duration <= 0.0
+    return fault.duration <= 0.0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -190,10 +306,38 @@ class FaultSchedule:
         )
 
     def shifted(self, offset: float) -> "FaultSchedule":
-        """Delay every fault by ``offset`` time units."""
+        """Delay every fault by ``offset`` time units.
+
+        A negative offset moves faults earlier; one that would push any
+        fault before t=0 raises :class:`~repro.errors.SimulationError`
+        (the fault's own window validation) instead of producing a
+        schedule that arms in the past.
+        """
         return FaultSchedule(
             self.name, tuple(f.rescaled(1.0, offset) for f in self.faults)
         )
+
+    def with_intensity(self, lam: float) -> "FaultSchedule":
+        """The same schedule at fractional intensity ``lam`` in [0, 1].
+
+        Probability windows scale their probability, crash/partition
+        windows their duration, and reorder bursts interpolate their
+        jitter factor toward the neutral 1 — so ``with_intensity(1)`` is
+        the schedule itself and ``with_intensity(0)`` is fault-free.
+        Faults rendered inert (zero probability, zero duration, unit
+        jitter) are dropped, which keeps the lam=0 endpoint identical to
+        :func:`baseline` for the severity-frontier bisection.
+        """
+        if not 0.0 <= lam <= 1.0:
+            raise SimulationError(
+                f"schedule intensity must be within [0, 1], got {lam}"
+            )
+        faults = tuple(
+            scaled
+            for fault in self.faults
+            if not _is_noop(scaled := fault.with_intensity(lam))
+        )
+        return FaultSchedule(self.name, faults)
 
     @property
     def horizon(self) -> float:
@@ -223,6 +367,36 @@ class FaultSchedule:
         for fault in self.faults:
             lines.append(f"  {fault!r}")
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """The JSON-able view of this schedule (see :func:`schedule_to_dict`)."""
+        return schedule_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSchedule":
+        """Rebuild a schedule from :meth:`to_dict` output."""
+        return schedule_from_dict(data)
+
+
+def schedule_to_dict(schedule: FaultSchedule) -> dict:
+    """A schedule as a JSON-able mapping.
+
+    This is how searched/composite schedules travel inside scenario
+    parameters: ``BENCH_*.json`` rows stay serializable and the pool's
+    cell function rebuilds the schedule on the other side.
+    """
+    return {
+        "name": schedule.name,
+        "faults": [fault_to_dict(fault) for fault in schedule.faults],
+    }
+
+
+def schedule_from_dict(data: dict) -> FaultSchedule:
+    """Rebuild a :class:`FaultSchedule` from :func:`schedule_to_dict`."""
+    return FaultSchedule(
+        str(data["name"]),
+        tuple(fault_from_dict(fault) for fault in data.get("faults", ())),
+    )
 
 
 # ----------------------------------------------------------------------

@@ -41,7 +41,15 @@ registry — the same catalog the benchmarks and the audit campaign use:
     ``--matrix`` restricts the sweep to the Figure 6 query apps, renders
     the observed per-query coordination-requirement matrix, and
     additionally exits nonzero when the matrix deviates from the paper's
-    expectation.
+    expectation.  ``--search`` instead *generates* seeded composite fault
+    schedules inside each app's declared envelope, evaluates them as
+    ordinary audit cells, and delta-debugs every cell observed beyond
+    ``Async`` down to a 1-minimal counterexample schedule
+    (:mod:`repro.chaos.search`).
+``blazes frontier [--smoke] [--steps N] [--jobs N] [--apps LIST] ...``
+    Map the severity frontier: per (app, strategy), bisect the intensity
+    of the app's composed fault envelope to the smallest intensity whose
+    observed anomaly exceeds ``Async``, and write ``BENCH_frontier.json``.
 ``blazes cache stats|clear [--json]``
     Inspect or empty the evaluation engine's cell cache.
 
@@ -264,6 +272,72 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECS",
         help="wall-clock budget per socket run; expiry exits with code 5",
     )
+    audit_cmd.add_argument(
+        "--search",
+        action="store_true",
+        help="generate composite fault schedules inside each app's "
+        "envelope and shrink anomalous cells to minimal counterexamples",
+    )
+    audit_cmd.add_argument(
+        "--candidates",
+        type=int,
+        default=4,
+        help="composite schedules generated per app (--search)",
+    )
+    audit_cmd.add_argument(
+        "--budget",
+        type=int,
+        default=64,
+        help="shrink trials allowed per anomalous cell (--search)",
+    )
+    audit_cmd.add_argument(
+        "--search-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed of the composite-schedule generator (--search)",
+    )
+
+    frontier_cmd = sub.add_parser(
+        "frontier",
+        help="bisect fault intensity to each guarantee's breaking point",
+    )
+    frontier_cmd.add_argument(
+        "--smoke", action="store_true", help="CI-sized workloads and seeds"
+    )
+    frontier_cmd.add_argument(
+        "--apps",
+        default=None,
+        help="comma-separated subset of the registered audit apps",
+    )
+    frontier_cmd.add_argument(
+        "--seeds", type=int, nargs="+", default=None,
+        help="network seeds per campaign cell",
+    )
+    frontier_cmd.add_argument(
+        "--steps",
+        type=int,
+        default=5,
+        help="bisection rounds after the two intensity endpoints",
+    )
+    frontier_cmd.add_argument(
+        "--jobs", type=int, default=None,
+        help="run frontier cells on the warm worker pool of this size "
+        "(default: $BLAZES_JOBS or serial)",
+    )
+    frontier_cmd.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="compute every cell; do not read or write .blazes-cache/",
+    )
+    frontier_cmd.add_argument(
+        "--json", action="store_true", help="machine-readable frontier report"
+    )
+    frontier_cmd.add_argument(
+        "--no-report",
+        action="store_true",
+        help="skip writing BENCH_frontier.json",
+    )
 
     cache_cmd = sub.add_parser(
         "cache", help="inspect or clear the evaluation engine's cell cache"
@@ -297,6 +371,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_trace(args)
         if args.command == "audit":
             return _cmd_audit(args)
+        if args.command == "frontier":
+            return _cmd_frontier(args)
         if args.command == "cache":
             return _cmd_cache(args)
     except BlazesError as exc:
@@ -619,6 +695,15 @@ def _cmd_audit(args) -> int:
         raise BlazesError("--matrix chooses its own apps; drop --apps")
     if args.matrix and args.backend == "socket":
         raise BlazesError("--matrix runs on the simulator; drop --backend")
+    if args.search and args.matrix:
+        raise BlazesError("--search and --matrix are separate sweeps")
+    if args.search and args.backend == "socket":
+        raise BlazesError(
+            "--search needs deterministic, cacheable cells; it runs on "
+            "the simulator only"
+        )
+    if args.search and args.schedules:
+        raise BlazesError("--search generates its schedules; drop --schedules")
     apps = None
     if args.apps:
         apps = tuple(name for name in args.apps.split(",") if name)
@@ -632,6 +717,31 @@ def _cmd_audit(args) -> int:
     reporter = None if args.no_report else JsonReporter()
     jobs = resolve_jobs(args.jobs)
     cache = None if args.no_cache else CellCache()
+    if args.search:
+        from repro.chaos.search import (
+            render_search,
+            search_campaign,
+            search_is_sound,
+        )
+
+        payload = search_campaign(
+            apps,
+            smoke=args.smoke,
+            seeds=seeds,
+            candidates=args.candidates,
+            budget=args.budget,
+            seed=args.search_seed,
+            jobs=jobs,
+            cache=cache,
+            reporter=reporter,
+        )
+        if args.json:
+            print(json.dumps(payload, indent=2))
+        else:
+            print(render_search(payload))
+            if reporter is not None:
+                print(f"\nwrote {reporter.path_for(payload['search'])}")
+        return 0 if search_is_sound(payload) else 4
     if args.matrix:
         name = "fig6-matrix-smoke" if args.smoke else "fig6-matrix"
         report = matrix_campaign(
@@ -684,6 +794,45 @@ def _cmd_audit(args) -> int:
         if reporter is not None:
             print(f"\nwrote {reporter.path_for(name)}")
     return 0 if ok else 4
+
+
+def _cmd_frontier(args) -> int:
+    from repro.bench import JsonReporter
+    from repro.chaos.campaign import DEFAULT_SEEDS, DEFAULT_SMOKE_SEEDS
+    from repro.chaos.search import frontier_campaign, render_frontier
+    from repro.exec import CellCache, resolve_jobs
+    from repro.obs.render import engine_line
+
+    apps = None
+    if args.apps:
+        apps = tuple(name for name in args.apps.split(",") if name)
+    if args.seeds:
+        seeds = tuple(args.seeds)
+    else:
+        seeds = DEFAULT_SMOKE_SEEDS if args.smoke else DEFAULT_SEEDS
+    name = "frontier-smoke" if args.smoke else "frontier"
+    reporter = None if args.no_report else JsonReporter()
+    report = frontier_campaign(
+        apps,
+        smoke=args.smoke,
+        seeds=seeds,
+        steps=args.steps,
+        jobs=resolve_jobs(args.jobs),
+        cache=None if args.no_cache else CellCache(),
+        name=name,
+        reporter=reporter,
+    )
+    if args.json:
+        payload = report.to_dict()
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_frontier(report))
+        if report.engine is not None:
+            print()
+            print(engine_line(report.engine))
+        if reporter is not None:
+            print(f"\nwrote {reporter.path_for(name)}")
+    return 0
 
 
 def _cmd_cache(args) -> int:

@@ -179,10 +179,13 @@ def audit_to_dict(report) -> dict[str, Any]:
     from repro.chaos.campaign import (
         campaign_is_sound,
         campaign_tightness,
+        cell_status_of,
         demonstrated_anomalies,
+        out_of_envelope_cells,
     )
 
     tight, total = campaign_tightness(report)
+    outside = out_of_envelope_cells(report)
     return {
         "campaign": report.name,
         "cells": [
@@ -192,6 +195,12 @@ def audit_to_dict(report) -> dict[str, Any]:
                 "predicted": result["predicted"],
                 "observed": result["observed"],
                 "sound": result["sound"],
+                # three-way status: out-of-envelope cells are neither
+                # sound nor unsound — the app never claimed their faults
+                "status": cell_status_of(result),
+                "envelope_violations": list(
+                    result.metrics.get("envelope_violations", ())
+                ),
                 "tight": result["tight"],
                 "coordinated": result["coordinated"],
                 "evidence": list(result["evidence"]),
@@ -201,6 +210,10 @@ def audit_to_dict(report) -> dict[str, Any]:
         "summary": {
             "cells": len(report),
             "sound": campaign_is_sound(report),
+            "unsound_cells": sum(
+                1 for result in report if cell_status_of(result) == "unsound"
+            ),
+            "out_of_envelope": len(outside),
             "tight_cells": tight,
             "tightness": (tight / total) if total else 1.0,
             "anomalies": demonstrated_anomalies(report),

@@ -46,7 +46,9 @@ __all__ = [
     "schedule_digest",
 ]
 
-CACHE_SCHEMA_VERSION = 1
+# v2: audit-cell metrics gained the envelope status fields
+# (status / in_envelope / envelope_violations)
+CACHE_SCHEMA_VERSION = 2
 CACHE_DIR_ENV = "BLAZES_CACHE_DIR"
 STATS_FILE = "stats.json"
 

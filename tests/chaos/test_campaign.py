@@ -217,3 +217,134 @@ def test_cells_carry_the_registering_module_for_pool_workers():
     cell records the module whose import registers its app."""
     report = audit_campaign(("kvs",), smoke=True, seeds=(7,), schedules=("baseline",))
     assert all(r.params["app_module"] == "repro.apps.kvs" for r in report)
+
+
+class TestEnvelopeStatus:
+    """The three-way cell taxonomy: sound / unsound / out-of-envelope."""
+
+    def test_default_sweep_is_entirely_in_envelope(self):
+        for result in smoke_report():
+            assert result["in_envelope"], result.name
+            assert result["envelope_violations"] == [], result.name
+            assert result["status"] in ("sound", "unsound"), result.name
+            assert result["status"] == (
+                "sound" if result["sound"] else "unsound"
+            ), result.name
+
+    def test_out_of_envelope_schedule_withholds_the_verdict(self):
+        from repro.chaos.campaign import _cell_metrics
+        from repro.chaos.schedule import loss_burst, schedule_to_dict
+
+        # adnet's order-only envelope excludes loss: the cell runs, but
+        # its anomaly (if any) is out-of-envelope, never unsound
+        metrics = _cell_metrics(
+            app="adnet",
+            strategy="uncoordinated",
+            schedule="loss-burst",
+            smoke=True,
+            seeds=[7],
+            schedule_spec=schedule_to_dict(loss_burst()),
+        )
+        assert metrics["status"] == "out-of-envelope"
+        assert not metrics["in_envelope"]
+        assert any("loss" in line for line in metrics["envelope_violations"])
+
+    def test_out_of_envelope_cells_never_count_as_unsound(self):
+        from repro.bench import BenchReport, ScenarioResult
+        from repro.chaos import (
+            cell_status_of,
+            out_of_envelope_cells,
+        )
+        from repro.core.report import audit_to_dict
+
+        def cell(name, *, sound, violations):
+            return ScenarioResult(
+                name,
+                {"app": "x", "strategy": "s", "schedule": name},
+                {
+                    "predicted": "Async",
+                    "predicted_severity": 2,
+                    "observed": "Inst" if not sound else "Async",
+                    "observed_severity": 4 if not sound else 2,
+                    "sound": sound,
+                    "status": "out-of-envelope" if violations else (
+                        "sound" if sound else "unsound"
+                    ),
+                    "in_envelope": not violations,
+                    "envelope_violations": list(violations),
+                    "tight": False,
+                    "consistent": sound,
+                    "coordinated": False,
+                    "evidence": [],
+                },
+                0.0,
+            )
+
+        report = BenchReport(
+            "t",
+            [
+                cell("a", sound=True, violations=()),
+                cell("b", sound=False, violations=("loss outside",)),
+            ],
+        )
+        assert campaign_is_sound(report)  # b is excluded, not unsound
+        assert cell_status_of(report.row("b")) == "out-of-envelope"
+        assert out_of_envelope_cells(report) == {"b": ["loss outside"]}
+        payload = audit_to_dict(report)
+        assert payload["summary"]["sound"] is True
+        assert payload["summary"]["unsound_cells"] == 0
+        assert payload["summary"]["out_of_envelope"] == 1
+        text = render_audit(report)
+        assert "out-of-envelope cells (1, no verdict): b" in text
+        assert "all 1 in-envelope cells" in text
+
+    def test_status_falls_back_to_the_sound_bit_for_old_reports(self):
+        from repro.bench import ScenarioResult
+        from repro.chaos import cell_status_of
+
+        legacy = ScenarioResult("old", {}, {"sound": False}, 0.0)
+        assert cell_status_of(legacy) == "unsound"
+
+
+class TestDuplicateScheduleNames:
+    """Two distinct schedules sharing a name must not collide."""
+
+    def test_same_named_distinct_schedules_get_digest_suffixed_cells(self):
+        import dataclasses
+
+        from repro.api import get_app
+        from repro.chaos.schedule import loss_burst
+
+        app = get_app("wordcount")
+        original = app.audit_spec
+        # two *different* loss bursts, both named "loss-burst"
+        doubled = dataclasses.replace(
+            original,
+            schedules=lambda smoke: (
+                loss_burst(drop_prob=0.2),
+                loss_burst(drop_prob=0.6),
+            ),
+        )
+        app.audit_spec = doubled
+        try:
+            report = audit_campaign(
+                ("wordcount",), smoke=True, seeds=(7,)
+            )
+        finally:
+            app.audit_spec = original
+        names = [r.name for r in report]
+        assert len(names) == len(set(names)) == 4  # 2 strategies x 2 cells
+        assert all("#" in name for name in names)
+        # the two cells of one strategy really ran different schedules
+        eager = report.select(strategy="eager")
+        probs = {
+            r.params["schedule_spec"]["faults"][0]["drop_prob"] for r in eager
+        }
+        assert probs == {0.2, 0.6}
+
+    def test_unique_names_keep_the_plain_cell_format(self):
+        report = audit_campaign(
+            ("kvs",), smoke=True, seeds=(7,), schedules=("baseline",)
+        )
+        assert all("#" not in r.name for r in report)
+        assert all("schedule_spec" not in r.params for r in report)

@@ -134,3 +134,115 @@ def test_every_primitive_round_trips_through_rescale():
         assert back.at == pytest.approx(fault.at)
         assert back.duration == pytest.approx(fault.duration)
         assert back.end == pytest.approx(fault.end)
+
+
+# ----------------------------------------------------------------------
+# construction-time validation (regression: negative shift offsets)
+# ----------------------------------------------------------------------
+def test_shifted_with_negative_offset_moves_faults_earlier():
+    schedule = loss_burst(at=0.3, duration=0.2).shifted(-0.1)
+    assert schedule.faults[0].at == pytest.approx(0.2)
+
+
+def test_shifted_past_zero_raises_at_construction():
+    # regression: this used to mint a Loss with at=-0.1, which the sim
+    # kernels rejected only at arm time and the socket backend silently
+    # clamped; the DSL now refuses to build the fault at all
+    with pytest.raises(SimulationError, match="before t=0"):
+        loss_burst(at=0.1, duration=0.2).shifted(-0.2)
+
+
+def test_rescaled_negative_offset_raises_per_fault():
+    with pytest.raises(SimulationError, match="before t=0"):
+        Crash("worker", 0, 0.05, 0.2).rescaled(1.0, -0.1)
+
+
+def test_negative_windows_raise_for_every_primitive():
+    with pytest.raises(SimulationError):
+        Crash("worker", 0, -0.1, 0.2)
+    with pytest.raises(SimulationError):
+        Loss(0.1, -0.2, 0.5)
+    with pytest.raises(SimulationError):
+        Partition("a", 0, "b", 0, -1e-9, 0.1)
+    with pytest.raises(SimulationError):
+        Reorder(0.1, 0.2, -1.0)
+
+
+def test_probability_faults_validate_their_probability():
+    with pytest.raises(SimulationError, match="drop_prob"):
+        Loss(0.1, 0.2, 1.5)
+    with pytest.raises(SimulationError, match="dup_prob"):
+        Duplicate(0.1, 0.2, -0.5)
+
+
+# ----------------------------------------------------------------------
+# intensity scaling (the severity-frontier axis)
+# ----------------------------------------------------------------------
+def test_with_intensity_endpoints():
+    schedule = (
+        crash_restart(at=0.1, duration=0.4)
+        + loss_burst(drop_prob=0.4)
+        + reorder_burst(factor=8.0)
+    )
+    full = schedule.with_intensity(1.0)
+    assert [f.end for f in full.faults] == [
+        pytest.approx(f.end) for f in schedule.faults
+    ]
+    # lam=0 melts every fault to a no-op, which is dropped: the empty
+    # schedule is indistinguishable from baseline
+    assert schedule.with_intensity(0.0).faults == ()
+
+
+def test_with_intensity_scales_each_kind_on_its_own_axis():
+    schedule = FaultSchedule(
+        "mix",
+        (
+            Crash("worker", 0, 0.1, 0.4),
+            Loss(0.1, 0.2, 0.8),
+            Duplicate(0.1, 0.2, 0.6),
+            Partition("a", 0, "b", 0, 0.1, 0.4),
+            Reorder(0.1, 0.2, 9.0),
+        ),
+    )
+    half = schedule.with_intensity(0.5)
+    crash, loss, dup, part, reorder = half.faults
+    assert crash.duration == pytest.approx(0.2)
+    assert crash.at == pytest.approx(0.1)  # windows never move
+    assert loss.drop_prob == pytest.approx(0.4)
+    assert dup.dup_prob == pytest.approx(0.3)
+    assert part.duration == pytest.approx(0.2)
+    assert reorder.factor == pytest.approx(5.0)  # toward neutral 1, not 0
+
+
+def test_with_intensity_rejects_out_of_range():
+    with pytest.raises(SimulationError):
+        loss_burst().with_intensity(1.5)
+    with pytest.raises(SimulationError):
+        loss_burst().with_intensity(-0.1)
+
+
+# ----------------------------------------------------------------------
+# dict round-trip (how searched schedules travel through JSON params)
+# ----------------------------------------------------------------------
+def test_schedule_round_trips_through_dict():
+    import json
+
+    from repro.chaos.schedule import schedule_from_dict, schedule_to_dict
+
+    schedule = (
+        crash_restart("worker", 1, at=0.1, duration=0.4)
+        + split_link("source", 0, "worker", 0, at=0.2, duration=0.2)
+        + loss_burst()
+        + dup_burst()
+        + reorder_burst()
+    )
+    data = json.loads(json.dumps(schedule_to_dict(schedule)))
+    back = schedule_from_dict(data)
+    assert back == schedule
+
+
+def test_fault_from_dict_rejects_unknown_kind():
+    from repro.chaos.schedule import fault_from_dict
+
+    with pytest.raises(SimulationError, match="unknown fault kind"):
+        fault_from_dict({"kind": "meteor", "at": 0.1, "duration": 0.2})
